@@ -1,0 +1,39 @@
+"""Benchmark regenerating Figure 1 (partition metrics vs PATOH).
+
+Prints the normalized TV/TM/MSV/MSM table and checks the paper's shape:
+PATOH is the TV reference nobody beats by much; the edge-cut tools
+(SCOTCH, KAFFPA) trail on volume quality; UMPA-MM leads MSM; UMPA-MV
+leads MSV.
+"""
+
+from repro.analysis.stats import geometric_mean
+from repro.experiments.fig1 import PARTITIONERS, format_fig1, run_fig1
+
+
+def test_fig1_partition_metrics(benchmark, profile, cache):
+    result = benchmark.pedantic(
+        lambda: run_fig1(profile, cache), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig1(result))
+
+    procs_list = result.proc_counts
+
+    def mean_over_counts(tool, metric):
+        return geometric_mean(
+            [result.values[(p, tool, metric)] for p in procs_list]
+        )
+
+    # PATOH is the TV baseline: no tool beats it by more than ~8% on average.
+    for tool in PARTITIONERS:
+        assert mean_over_counts(tool, "TV") > 0.90, (tool, "TV")
+
+    # Edge-cut minimizers pay a TV penalty vs PATOH.
+    assert mean_over_counts("SCOTCH", "TV") >= 1.0
+    assert mean_over_counts("KAFFPA", "TV") >= 0.99
+
+    # The UMPA personalities lead their own primary metrics.
+    assert mean_over_counts("UMPAMM", "MSM") == min(
+        mean_over_counts(t, "MSM") for t in PARTITIONERS
+    )
+    assert mean_over_counts("UMPAMV", "MSV") <= 1.05

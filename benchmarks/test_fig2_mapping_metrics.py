@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 2 (mapping metrics vs DEF on PATOH graphs).
+
+Checks the paper's qualitative claims: the UMPA variants improve WH/TH
+over DEF; UMC achieves the lowest MC; UMMC the lowest MMC; TMAP never
+worsens MC (DEF fallback).
+"""
+
+from repro.analysis.stats import geometric_mean
+from repro.experiments.fig2 import format_fig2, run_fig2
+from repro.mapping.pipeline import MAPPER_NAMES
+
+
+def test_fig2_mapping_metrics(benchmark, profile, cache):
+    result = benchmark.pedantic(
+        lambda: run_fig2(profile, cache), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig2(result))
+
+    procs = result.proc_counts
+
+    def overall(algo, metric):
+        return geometric_mean([result.values[(p, algo, metric)] for p in procs])
+
+    # WH: the greedy family beats DEF on average.
+    assert overall("UG", "WH") < 1.0
+    assert overall("UWH", "WH") <= overall("UG", "WH") * 1.02
+    # MC: UMC is the strongest congestion reducer among all algorithms.
+    assert overall("UMC", "MC") == min(overall(a, "MC") for a in MAPPER_NAMES)
+    # MMC: UMMC leads the UMPA family.
+    assert overall("UMMC", "MMC") <= min(
+        overall("UG", "MMC"), overall("UWH", "MMC")
+    ) * 1.02
+    # TMAP's fallback guarantees MC no worse than DEF.
+    assert overall("TMAP", "MC") <= 1.0 + 1e-9

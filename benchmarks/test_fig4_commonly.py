@@ -1,0 +1,48 @@
+"""Benchmarks regenerating Figure 4 (communication-only app, cage & rgg).
+
+Shape checks (paper Sec. IV-C): execution time correlates with WH; the
+best times come from the WH/MC-minimizing mappers; UMMC is the weakest
+UMPA variant once messages are scaled (volume-bound regime).
+"""
+
+import numpy as np
+
+from repro.experiments.fig4 import FIG4_MAPPERS, FIG4_PARTITIONERS, format_fig4, run_fig4
+
+
+def _best_umpa_time(result):
+    return min(
+        result.values[(pt, al, "time")]
+        for pt in FIG4_PARTITIONERS
+        for al in ("UG", "UWH", "UMC")
+    )
+
+
+def test_fig4a_commonly_cage(benchmark, profile, cache):
+    result = benchmark.pedantic(
+        lambda: run_fig4("cage15_like", profile, cache), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig4(result))
+    # The WH-minimizing family finds a mapping faster than DEF-on-PATOH.
+    assert _best_umpa_time(result) < 1.0
+    # Time correlates with WH across the grid (positive rank correlation).
+    whs = [result.values[(pt, al, "WH")] for pt in FIG4_PARTITIONERS for al in FIG4_MAPPERS]
+    ts = [result.values[(pt, al, "time")] for pt in FIG4_PARTITIONERS for al in FIG4_MAPPERS]
+    corr = np.corrcoef(whs, ts)[0, 1]
+    assert corr > 0.2, f"time should correlate with WH, got r={corr:.2f}"
+
+
+def test_fig4b_commonly_rgg(benchmark, profile, cache):
+    result = benchmark.pedantic(
+        lambda: run_fig4("rgg_n23_like", profile, cache), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig4(result))
+    assert _best_umpa_time(result) < 1.0
+    # UWH should improve on DEF for most partitioner graphs.
+    wins = sum(
+        result.values[(pt, "UWH", "time")] <= result.values[(pt, "DEF", "time")] * 1.02
+        for pt in FIG4_PARTITIONERS
+    )
+    assert wins >= len(FIG4_PARTITIONERS) // 2

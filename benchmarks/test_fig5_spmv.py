@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 5 (Tpetra-like SpMV, cage).
+
+Shape checks (paper Sec. IV-D): UWH achieves the best overall time and
+beats DEF on most partitioner graphs; TH correlates with execution time.
+"""
+
+import numpy as np
+
+from repro.experiments.fig4 import FIG4_MAPPERS, FIG4_PARTITIONERS
+from repro.experiments.fig5 import format_fig5, run_fig5
+
+
+def test_fig5_spmv_cage(benchmark, profile, cache):
+    result = benchmark.pedantic(
+        lambda: run_fig5("cage15_like", profile, cache), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig5(result))
+
+    # UWH improves on DEF for a majority of the partitioner graphs.
+    wins = sum(
+        result.values[(pt, "UWH", "time")] <= result.values[(pt, "DEF", "time")] * 1.02
+        for pt in FIG4_PARTITIONERS
+    )
+    assert wins >= len(FIG4_PARTITIONERS) // 2
+
+    # TH correlates with the execution time across the whole grid.
+    ths = [result.values[(pt, al, "TH")] for pt in FIG4_PARTITIONERS for al in FIG4_MAPPERS]
+    ts = [result.values[(pt, al, "time")] for pt in FIG4_PARTITIONERS for al in FIG4_MAPPERS]
+    corr = np.corrcoef(ths, ts)[0, 1]
+    assert corr > 0.2, f"time should correlate with TH, got r={corr:.2f}"

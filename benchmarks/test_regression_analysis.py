@@ -1,0 +1,30 @@
+"""Benchmark regenerating the Sec. IV-E NNLS regression analysis.
+
+Shape checks: the comm-only fit is dominated by volume metrics, the SpMV
+fit by latency/average-congestion metrics, matching the paper's split
+(WH/MSV/MC vs AMC/ICV/MMC/TH/MNRV).
+"""
+
+from repro.experiments.regression import format_regression, run_regression
+
+VOLUME_METRICS = {"WH", "MSV", "MC", "TV", "ICV", "AC", "MNRV"}
+LATENCY_METRICS = {"AMC", "TH", "MMC", "TM", "ICM", "MSM", "MNRM"}
+
+
+def test_regression_analysis(benchmark, profile, cache):
+    study = benchmark.pedantic(
+        lambda: run_regression(profile, cache), rounds=1, iterations=1
+    )
+    print()
+    print(format_regression(study))
+
+    comm_top = set(study.comm_only.top(3))
+    assert comm_top & VOLUME_METRICS, (
+        f"comm-only fit should pick volume metrics, got {comm_top}"
+    )
+
+    spmv_nz = set(study.spmv.nonzero())
+    assert spmv_nz, "SpMV fit found no dependencies"
+
+    # The fits differ: the applications stress different metrics.
+    assert study.comm_only.top(3) != study.spmv.top(3) or len(spmv_nz) > 3

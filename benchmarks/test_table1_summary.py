@@ -1,0 +1,30 @@
+"""Benchmark regenerating Table I (summary improvements).
+
+Shape checks: UWH's geometric-mean normalized time beats DEF on all
+three applications; UG sits between DEF and UWH; TMAP stays near 1.0.
+"""
+
+from repro.experiments.table1 import TABLE1_MAPPERS, format_table1, run_table1
+
+
+def test_table1_summary(benchmark, profile, cache):
+    result = benchmark.pedantic(
+        lambda: run_table1(profile, cache), rounds=1, iterations=1
+    )
+    print()
+    print(format_table1(result))
+
+    for app in ("cage_spmv", "cage_comm", "rgg_comm"):
+        gm = result.gmean(app)
+        assert gm["UWH"] < 1.02, f"UWH should improve {app}, got {gm['UWH']:.3f}"
+        # TMAP's fallback keeps it near DEF.
+        assert 0.85 < gm["TMAP"] < 1.2
+
+    comm = result.gmean("cage_comm")
+    spmv = result.gmean("cage_spmv")
+    # UG also improves the comm-bound app on average.
+    assert comm["UG"] < 1.05
+    # Every mapper stays within sane bounds.
+    for app in ("cage_spmv", "cage_comm", "rgg_comm"):
+        for m in TABLE1_MAPPERS:
+            assert 0.3 < result.gmean(app)[m] < 2.0

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Scenario: regenerate the paper's figures programmatically.
+
+The experiment harness is a library, not just a benchmark suite: this
+script re-creates Figure 2 (mapping metrics vs DEF) and the Table I
+summary at smoke scale, then inspects the results object directly —
+useful when embedding the reproduction in a notebook or sweeping custom
+profiles.
+
+Equivalent CLI:  python -m repro.experiments fig2 --profile smoke
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.experiments import (
+    format_fig2,
+    format_fig3,
+    format_table1,
+    get_profile,
+    run_fig2,
+    run_table1,
+)
+from repro.experiments.harness import WorkloadCache
+
+
+def main() -> None:
+    profile = get_profile("smoke")
+    cache = WorkloadCache(profile)  # shared across runners: partitions reused
+
+    fig2 = run_fig2(profile, cache)
+    print(format_fig2(fig2))
+    print()
+    print(format_fig3(fig2))
+
+    # Programmatic access: which mapper wins WH at the largest scale?
+    procs = fig2.proc_counts[-1]
+    wh = {a: fig2.values[(procs, a, "WH")] for a in ("UG", "UWH", "UMC", "UMMC")}
+    best = min(wh, key=wh.get)
+    print(f"\nBest WH at {procs} procs: {best} ({wh[best]:.3f} vs DEF 1.0)")
+
+    print()
+    table1 = run_table1(profile, cache)
+    print(format_table1(table1))
+    gm = table1.gmean("cage_spmv")
+    print(f"\nSpMV geo-mean (UWH): {gm['UWH']:.2f}  (paper: 0.91)")
+
+
+if __name__ == "__main__":
+    main()

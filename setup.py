@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file lets
+``pip install -e .`` fall back to the legacy setuptools `develop` path on
+offline machines whose setuptools cannot build PEP 660 editable wheels.
+"""
+from setuptools import setup
+
+setup()

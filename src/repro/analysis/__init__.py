@@ -1,0 +1,20 @@
+"""Analysis helpers: NNLS regression and summary statistics."""
+
+from repro.analysis.regression import (
+    RegressionResult,
+    nnls_regression,
+    standardize_columns,
+    pearson_matrix,
+    METRIC_COLUMNS,
+)
+from repro.analysis.stats import geometric_mean, normalize_to
+
+__all__ = [
+    "RegressionResult",
+    "nnls_regression",
+    "standardize_columns",
+    "pearson_matrix",
+    "METRIC_COLUMNS",
+    "geometric_mean",
+    "normalize_to",
+]

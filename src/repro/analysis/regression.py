@@ -1,0 +1,120 @@
+"""NNLS regression analysis (paper Sec. IV-E).
+
+"In NNLS, given a variable matrix V and a vector t, we want to find a
+dependency vector d which minimizes ‖Vd − t‖ s.t. d ≥ 0."  The 14 columns
+are the partitioning metrics MSV, TV, MSM, TM; the mapping metrics WH,
+TH, MC, MMC, AC, AMC; and the node metrics ICV, ICM, MNRV, MNRM.  Each
+column is standardized (subtract mean, divide by standard deviation) so
+coefficients are comparable; the paper solves with MATLAB ``lsqnonneg``
+— we use SciPy's implementation of the same Lawson–Hanson algorithm.
+
+The helper also computes pairwise Pearson correlations, which the paper
+uses to explain why highly correlated metrics (AMC vs MNRM/ICM/TM) can
+hide each other's coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import nnls
+
+__all__ = [
+    "METRIC_COLUMNS",
+    "RegressionResult",
+    "standardize_columns",
+    "nnls_regression",
+    "pearson_matrix",
+]
+
+#: Column order of the paper's variable matrix V.
+METRIC_COLUMNS: Tuple[str, ...] = (
+    "MSV",
+    "TV",
+    "MSM",
+    "TM",
+    "WH",
+    "TH",
+    "MC",
+    "MMC",
+    "AC",
+    "AMC",
+    "ICV",
+    "ICM",
+    "MNRV",
+    "MNRM",
+)
+
+
+@dataclass(frozen=True)
+class RegressionResult:
+    """Outcome of one NNLS fit."""
+
+    coefficients: Dict[str, float]
+    residual: float
+
+    def nonzero(self, threshold: float = 1e-9) -> Dict[str, float]:
+        """Metrics with coefficients above *threshold*, sorted descending."""
+        items = [(k, v) for k, v in self.coefficients.items() if v > threshold]
+        return dict(sorted(items, key=lambda kv: -kv[1]))
+
+    def top(self, k: int = 5) -> List[str]:
+        """Names of the k largest-coefficient metrics."""
+        return list(self.nonzero())[:k]
+
+
+def standardize_columns(v: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance columns ("make them equally important").
+
+    Constant columns (zero variance) become all-zero rather than NaN.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    mean = v.mean(axis=0)
+    std = v.std(axis=0)
+    out = v - mean
+    nonconst = std > 0
+    out[:, nonconst] /= std[nonconst]
+    out[:, ~nonconst] = 0.0
+    return out
+
+
+def nnls_regression(
+    v: np.ndarray,
+    t: np.ndarray,
+    columns: Sequence[str] = METRIC_COLUMNS,
+) -> RegressionResult:
+    """Standardize V, solve ``min ‖Vd − t‖, d ≥ 0``; name the coefficients."""
+    v = np.asarray(v, dtype=np.float64)
+    t = np.asarray(t, dtype=np.float64)
+    if v.ndim != 2:
+        raise ValueError("V must be 2-D")
+    if v.shape[0] != t.shape[0]:
+        raise ValueError("V rows must match t length")
+    if v.shape[1] != len(columns):
+        raise ValueError(f"V has {v.shape[1]} columns for {len(columns)} names")
+    vs = standardize_columns(v)
+    coef, residual = nnls(vs, t)
+    return RegressionResult(
+        coefficients={name: float(c) for name, c in zip(columns, coef)},
+        residual=float(residual),
+    )
+
+
+def pearson_matrix(
+    v: np.ndarray, columns: Sequence[str] = METRIC_COLUMNS
+) -> Dict[Tuple[str, str], float]:
+    """Pairwise Pearson correlations of the metric columns."""
+    v = np.asarray(v, dtype=np.float64)
+    if v.shape[1] != len(columns):
+        raise ValueError("column count mismatch")
+    std = v.std(axis=0)
+    corr = np.corrcoef(v, rowvar=False)
+    out: Dict[Tuple[str, str], float] = {}
+    for i, a in enumerate(columns):
+        for j, b in enumerate(columns):
+            if i < j:
+                val = corr[i, j] if std[i] > 0 and std[j] > 0 else float("nan")
+                out[(a, b)] = float(val)
+    return out

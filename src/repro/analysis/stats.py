@@ -1,0 +1,45 @@
+"""Summary statistics used throughout the experiment harness.
+
+The paper reports geometric means of metric ratios ("Geometric means of
+the partition metrics w.r.t PATOH", "(Geometric) mean execution times")
+— the right average for normalized quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["geometric_mean", "normalize_to", "geo_mean_ratio"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (NaN-tolerant: NaNs are dropped)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        return float("nan")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def normalize_to(values: Mapping[str, float], reference_key: str) -> Dict[str, float]:
+    """Normalize a dict of values by one entry (e.g. everything / PATOH)."""
+    ref = values[reference_key]
+    if ref == 0:
+        raise ValueError(f"reference {reference_key!r} is zero")
+    return {k: v / ref for k, v in values.items()}
+
+
+def geo_mean_ratio(numerators: Sequence[float], denominators: Sequence[float]) -> float:
+    """Geometric mean of pairwise ratios num/den."""
+    num = np.asarray(numerators, dtype=np.float64)
+    den = np.asarray(denominators, dtype=np.float64)
+    if num.shape != den.shape:
+        raise ValueError("numerators and denominators must align")
+    ok = (num > 0) & (den > 0)
+    if not np.any(ok):
+        return float("nan")
+    return float(np.exp(np.mean(np.log(num[ok] / den[ok]))))

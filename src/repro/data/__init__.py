@@ -1,0 +1,5 @@
+"""The 25-matrix evaluation corpus (UFL-collection stand-in)."""
+
+from repro.data.corpus import CORPUS, CorpusEntry, load_corpus, load_matrix
+
+__all__ = ["CORPUS", "CorpusEntry", "load_corpus", "load_matrix"]

@@ -1,0 +1,103 @@
+"""Manifest of the 25-matrix corpus (9 classes, UFL stand-in).
+
+The paper selects 25 UFL matrices from 9 classes; this manifest defines
+25 deterministic synthetic matrices across the same number of classes,
+with per-profile size scaling: sizes are expressed in *units* that the
+experiment profile multiplies (so the CI profile runs the identical
+corpus at laptop scale while the "paper" profile grows it).
+
+``cage`` and ``rgg`` carry the flagship roles of cage15 and
+rgg_n_2_23_s0 — the two largest matrices, used for the communication-only
+and SpMV experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.graph.generators import generate_matrix
+from repro.graph.matrices import SparseMatrix
+from repro.util.rng import mix_seed
+
+__all__ = ["CorpusEntry", "CORPUS", "load_corpus", "load_matrix", "FLAGSHIPS"]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One matrix of the evaluation corpus.
+
+    ``size_units`` scales with the experiment profile's
+    ``rows_per_unit``; ``seed_salt`` keeps same-class matrices distinct.
+    """
+
+    name: str
+    group: str
+    size_units: float
+    seed_salt: int
+
+
+#: 25 matrices, 9 classes, size spread roughly matching the UFL picks
+#: (two flagship large instances + a tail of mid-sized ones).
+CORPUS: Tuple[CorpusEntry, ...] = (
+    # Flagships (the paper's cage15 / rgg_n_2_23_s0 analogues).
+    CorpusEntry("cage15_like", "cage", 2.0, 1),
+    CorpusEntry("rgg_n23_like", "rgg", 2.0, 2),
+    # cage family
+    CorpusEntry("cage12_like", "cage", 0.8, 3),
+    CorpusEntry("cage13_like", "cage", 1.2, 4),
+    # rgg family
+    CorpusEntry("rgg_n21_like", "rgg", 1.0, 5),
+    CorpusEntry("rgg_n22_like", "rgg", 1.4, 6),
+    # 2-D stencils / structured meshes
+    CorpusEntry("ecology_like", "stencil2d", 1.2, 7),
+    CorpusEntry("apache_like", "stencil2d", 0.9, 8),
+    CorpusEntry("thermal_like", "stencil2d", 1.1, 9),
+    # 3-D stencils
+    CorpusEntry("atmosmodd_like", "stencil3d", 1.3, 10),
+    CorpusEntry("poisson3d_like", "stencil3d", 0.9, 11),
+    CorpusEntry("nlpkkt_like", "stencil3d", 1.5, 12),
+    # power-law / web / social
+    CorpusEntry("webbase_like", "powerlaw", 1.2, 13),
+    CorpusEntry("wikipedia_like", "powerlaw", 0.9, 14),
+    CorpusEntry("ljournal_like", "powerlaw", 1.4, 15),
+    # FEM
+    CorpusEntry("af_shell_like", "fem", 1.2, 16),
+    CorpusEntry("audikw_like", "fem", 1.4, 17),
+    CorpusEntry("bone_like", "fem", 0.8, 18),
+    # circuits
+    CorpusEntry("freescale_like", "circuit", 1.1, 19),
+    CorpusEntry("memchip_like", "circuit", 0.9, 20),
+    CorpusEntry("circuit5m_like", "circuit", 1.3, 21),
+    # road networks
+    CorpusEntry("roadnet_like", "road", 1.1, 22),
+    CorpusEntry("europe_osm_like", "road", 1.4, 23),
+    # economics
+    CorpusEntry("econ_fwd_like", "econ", 0.9, 24),
+    CorpusEntry("econ_mac_like", "econ", 1.1, 25),
+)
+
+#: The two matrices driving the comm-only / SpMV experiments.
+FLAGSHIPS: Tuple[str, str] = ("cage15_like", "rgg_n23_like")
+
+
+def load_matrix(entry: CorpusEntry, rows_per_unit: int, base_seed: int = 0) -> SparseMatrix:
+    """Instantiate one corpus matrix at the profile's scale."""
+    n = max(64, int(entry.size_units * rows_per_unit))
+    mat = generate_matrix(entry.group, n, seed=mix_seed(base_seed, entry.seed_salt))
+    # Rebrand with the corpus name for readable experiment reports.
+    mat.name = entry.name
+    return mat
+
+
+def load_corpus(
+    rows_per_unit: int,
+    base_seed: int = 0,
+    names: Tuple[str, ...] = (),
+) -> List[SparseMatrix]:
+    """Instantiate the corpus (optionally a named subset) at a scale."""
+    selected = [e for e in CORPUS if not names or e.name in names]
+    if names and len(selected) != len(names):
+        missing = set(names) - {e.name for e in selected}
+        raise ValueError(f"unknown corpus entries: {sorted(missing)}")
+    return [load_matrix(e, rows_per_unit, base_seed) for e in selected]

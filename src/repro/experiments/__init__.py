@@ -1,0 +1,49 @@
+"""Experiment harness: one module per paper artifact.
+
+========  =========================================  =======================
+module    paper artifact                              entry point
+========  =========================================  =======================
+fig1      Fig. 1  partition metrics vs PATOH          :func:`run_fig1`
+fig2      Fig. 2  mapping metrics vs DEF              :func:`run_fig2`
+fig3      Fig. 3  mapping times                       :func:`run_fig3`
+fig4      Fig. 4  comm-only app times (cage / rgg)    :func:`run_fig4`
+fig5      Fig. 5  Tpetra SpMV times (cage)            :func:`run_fig5`
+table1    Table I summary improvements               :func:`run_table1`
+regression Sec. IV-E NNLS analysis                   :func:`run_regression`
+========  =========================================  =======================
+
+All runners accept an :class:`ExperimentProfile` that scales matrices,
+processor counts and repetition counts; the ``ci`` profile (default)
+finishes on a laptop, the ``paper`` profile matches the publication's
+sizes.  Every runner returns plain data structures and offers a
+``format_*`` helper printing the same rows the paper reports.
+"""
+
+from repro.experiments.profiles import ExperimentProfile, get_profile, PROFILES
+from repro.experiments.fig1 import run_fig1, format_fig1
+from repro.experiments.fig2 import run_fig2, format_fig2, format_fig3
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4, format_fig4
+from repro.experiments.fig5 import run_fig5, format_fig5
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.regression import run_regression, format_regression
+
+__all__ = [
+    "ExperimentProfile",
+    "get_profile",
+    "PROFILES",
+    "run_fig1",
+    "format_fig1",
+    "run_fig2",
+    "format_fig2",
+    "run_fig3",
+    "format_fig3",
+    "run_fig4",
+    "format_fig4",
+    "run_fig5",
+    "format_fig5",
+    "run_table1",
+    "format_table1",
+    "run_regression",
+    "format_regression",
+]

@@ -1,0 +1,78 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments fig1 --profile ci
+    python -m repro.experiments fig4 --matrix rgg_n23_like --profile smoke
+    python -m repro.experiments all --profile smoke
+
+Each command prints the same table the corresponding paper artifact
+reports (see EXPERIMENTS.md for recorded outputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    format_fig1,
+    format_fig2,
+    format_fig3,
+    format_fig4,
+    format_fig5,
+    format_regression,
+    format_table1,
+    get_profile,
+    run_fig1,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_regression,
+    run_table1,
+)
+from repro.experiments.harness import WorkloadCache
+
+COMMANDS = ("fig1", "fig2", "fig3", "fig4a", "fig4b", "fig5", "table1", "regression", "all")
+
+
+def main(argv=None) -> int:
+    """Parse arguments and run the requested experiment(s); returns 0."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument("command", choices=COMMANDS)
+    parser.add_argument("--profile", default="ci", help="smoke | ci | small | paper")
+    parser.add_argument("--matrix", default=None, help="flagship override for fig4/fig5")
+    args = parser.parse_args(argv)
+
+    profile = get_profile(args.profile)
+    cache = WorkloadCache(profile)
+    todo = COMMANDS[:-1] if args.command == "all" else (args.command,)
+
+    for cmd in todo:
+        t0 = time.perf_counter()
+        if cmd == "fig1":
+            print(format_fig1(run_fig1(profile, cache)))
+        elif cmd == "fig2":
+            print(format_fig2(run_fig2(profile, cache)))
+        elif cmd == "fig3":
+            print(format_fig3(run_fig2(profile, cache)))
+        elif cmd == "fig4a":
+            print(format_fig4(run_fig4(args.matrix or "cage15_like", profile, cache)))
+        elif cmd == "fig4b":
+            print(format_fig4(run_fig4(args.matrix or "rgg_n23_like", profile, cache)))
+        elif cmd == "fig5":
+            print(format_fig5(run_fig5(args.matrix or "cage15_like", profile, cache)))
+        elif cmd == "table1":
+            print(format_table1(run_table1(profile, cache)))
+        elif cmd == "regression":
+            print(format_regression(run_regression(profile, cache)))
+        print(f"[{cmd} done in {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

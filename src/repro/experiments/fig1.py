@@ -1,0 +1,85 @@
+"""Figure 1 — partition metrics of the seven tools, normalized to PATOH.
+
+"Figure 1 shows the mean metric values normalized with that metric value
+of PATOH" for TV, TM, MSV and MSM at each part count.  Expected shape
+(paper Sec. IV-A): all tools are similar on TV with the edge-cut
+minimizers (SCOTCH, KAFFPA) slightly worse; UMPA-MV has the best MSV;
+UMPA-MM the best MSM (16–19% better than PATOH); UMPA-TM the best TM
+(9–10% better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import geo_mean_ratio
+from repro.experiments.harness import WorkloadCache
+from repro.experiments.profiles import ExperimentProfile, get_profile
+
+__all__ = ["run_fig1", "format_fig1", "Fig1Result", "PARTITIONERS", "FIG1_METRICS"]
+
+PARTITIONERS: Tuple[str, ...] = (
+    "KAFFPA",
+    "METIS",
+    "PATOH",
+    "SCOTCH",
+    "UMPAMM",
+    "UMPAMV",
+    "UMPATM",
+)
+FIG1_METRICS: Tuple[str, ...] = ("TV", "TM", "MSV", "MSM")
+
+
+@dataclass
+class Fig1Result:
+    """Normalized geo-mean metrics: ``values[(procs, tool, metric)]``."""
+
+    profile: str
+    proc_counts: Tuple[int, ...]
+    values: Dict[Tuple[int, str, str], float]
+
+
+def run_fig1(
+    profile: Optional[ExperimentProfile] = None,
+    cache: Optional[WorkloadCache] = None,
+) -> Fig1Result:
+    """Partition the corpus with all seven tools at every part count."""
+    profile = profile or get_profile("ci")
+    cache = cache or WorkloadCache(profile)
+    values: Dict[Tuple[int, str, str], float] = {}
+    entries = cache.corpus_entries()
+    for procs in profile.proc_counts:
+        # Collect raw metric values per tool across the corpus.
+        raw: Dict[str, Dict[str, List[float]]] = {
+            t: {m: [] for m in FIG1_METRICS} for t in PARTITIONERS
+        }
+        for entry in entries:
+            for tool in PARTITIONERS:
+                pm = cache.workload(entry.name, tool, procs).partition_metrics
+                d = pm.as_dict()
+                for metric in FIG1_METRICS:
+                    raw[tool][metric].append(float(d[metric]))
+        for tool in PARTITIONERS:
+            for metric in FIG1_METRICS:
+                values[(procs, tool, metric)] = geo_mean_ratio(
+                    raw[tool][metric], raw["PATOH"][metric]
+                )
+    return Fig1Result(
+        profile=profile.name, proc_counts=tuple(profile.proc_counts), values=values
+    )
+
+
+def format_fig1(result: Fig1Result) -> str:
+    """Render the figure as the table of normalized geo-means."""
+    lines = [f"Figure 1 (profile={result.profile}): partition metrics w.r.t. PATOH"]
+    header = f"{'procs':>7s} {'tool':>8s} " + " ".join(f"{m:>7s}" for m in FIG1_METRICS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for procs in result.proc_counts:
+        for tool in PARTITIONERS:
+            row = " ".join(
+                f"{result.values[(procs, tool, m)]:7.3f}" for m in FIG1_METRICS
+            )
+            lines.append(f"{procs:>7d} {tool:>8s} {row}")
+    return "\n".join(lines)

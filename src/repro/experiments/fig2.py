@@ -1,0 +1,119 @@
+"""Figure 2 — mapping metrics on PATOH graphs, normalized to DEF.
+
+"Mean metric values of the algorithms on G^PATOH_t graphs normalized
+w.r.t. those of DEF" for TH, WH, MMC and MC at every processor count,
+over the mapping algorithms DEF, TMAP, SMAP, UG, UWH, UMC, UMMC and the
+profile's allocations.  Expected shape (Sec. IV-B): UG improves WH/TH by
+5–18%; UWH adds another few percent; UMC cuts MC by 27–37%; UMMC cuts
+MMC by 24–37%; TMAP improves MC by only 1–7%; SMAP is worse than DEF on
+most metrics.
+
+Figure 3 (mapping times) falls out of the same runs, so this module also
+records per-algorithm geometric-mean mapping times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import geo_mean_ratio, geometric_mean
+from repro.experiments.harness import WorkloadCache, run_mapper
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.mapping.pipeline import MAPPER_NAMES
+from repro.util.rng import mix_seed
+
+__all__ = ["run_fig2", "format_fig2", "format_fig3", "Fig2Result", "FIG2_METRICS"]
+
+FIG2_METRICS: Tuple[str, ...] = ("TH", "WH", "MMC", "MC")
+
+
+@dataclass
+class Fig2Result:
+    """Normalized metrics ``values[(procs, mapper, metric)]`` + times."""
+
+    profile: str
+    proc_counts: Tuple[int, ...]
+    values: Dict[Tuple[int, str, str], float]
+    #: geometric-mean mapping seconds per (procs, mapper) — Figure 3.
+    times: Dict[Tuple[int, str], float]
+
+
+def run_fig2(
+    profile: Optional[ExperimentProfile] = None,
+    cache: Optional[WorkloadCache] = None,
+    partitioner: str = "PATOH",
+) -> Fig2Result:
+    """Map every PATOH task graph with all seven algorithms."""
+    profile = profile or get_profile("ci")
+    cache = cache or WorkloadCache(profile)
+    entries = cache.corpus_entries()
+    values: Dict[Tuple[int, str, str], float] = {}
+    times: Dict[Tuple[int, str], float] = {}
+
+    for procs in profile.proc_counts:
+        raw: Dict[str, Dict[str, List[float]]] = {
+            a: {m: [] for m in FIG2_METRICS} for a in MAPPER_NAMES
+        }
+        raw_times: Dict[str, List[float]] = {a: [] for a in MAPPER_NAMES}
+        for entry in entries:
+            wl = cache.workload(entry.name, partitioner, procs)
+            for alloc_seed in profile.alloc_seeds:
+                machine = cache.machine(procs, alloc_seed)
+                shared = cache.groups(entry.name, partitioner, procs, alloc_seed)
+                for algo in MAPPER_NAMES:
+                    groups = None if algo in ("DEF", "TMAP") else shared
+                    result, metrics, _ = run_mapper(
+                        algo,
+                        wl,
+                        machine,
+                        seed=mix_seed(profile.seed, alloc_seed * 37 + procs),
+                        groups=groups,
+                    )
+                    d = metrics.as_dict()
+                    for m in FIG2_METRICS:
+                        raw[algo][m].append(float(d[m]))
+                    raw_times[algo].append(max(result.map_time, 1e-6))
+        for algo in MAPPER_NAMES:
+            for m in FIG2_METRICS:
+                values[(procs, algo, m)] = geo_mean_ratio(raw[algo][m], raw["DEF"][m])
+            times[(procs, algo)] = geometric_mean(raw_times[algo])
+    return Fig2Result(
+        profile=profile.name,
+        proc_counts=tuple(profile.proc_counts),
+        values=values,
+        times=times,
+    )
+
+
+def format_fig2(result: Fig2Result) -> str:
+    """Paper-layout table: one row per (procs, mapper)."""
+    lines = [
+        f"Figure 2 (profile={result.profile}): mapping metrics on PATOH graphs, "
+        "normalized to DEF"
+    ]
+    header = f"{'procs':>7s} {'mapper':>6s} " + " ".join(
+        f"{m:>7s}" for m in FIG2_METRICS
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for procs in result.proc_counts:
+        for algo in MAPPER_NAMES:
+            row = " ".join(
+                f"{result.values[(procs, algo, m)]:7.3f}" for m in FIG2_METRICS
+            )
+            lines.append(f"{procs:>7d} {algo:>6s} {row}")
+    return "\n".join(lines)
+
+
+def format_fig3(result: Fig2Result) -> str:
+    """Figure 3 companion table: geometric-mean mapping times (seconds)."""
+    lines = [f"Figure 3 (profile={result.profile}): geo-mean mapping times (s)"]
+    mappers = [a for a in MAPPER_NAMES if a != "DEF"]
+    header = f"{'procs':>7s} " + " ".join(f"{a:>9s}" for a in mappers)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for procs in result.proc_counts:
+        row = " ".join(f"{result.times[(procs, a)]:9.4f}" for a in mappers)
+        lines.append(f"{procs:>7d} {row}")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Figure 3 — geometric-mean mapping times per algorithm.
+
+The timing data is collected by the Figure 2 runs (same sweep); this
+module just re-exposes it under the figure's own name so the per-
+experiment index stays one-to-one with the paper.
+
+Expected shape: SMAP/UG/UWH cheapest, UMC/UMMC next, TMAP the most
+expensive (it re-partitions the task graph itself) and growing with the
+processor count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.harness import WorkloadCache
+from repro.experiments.profiles import ExperimentProfile
+
+__all__ = ["run_fig3"]
+
+
+def run_fig3(
+    profile: Optional[ExperimentProfile] = None,
+    cache: Optional[WorkloadCache] = None,
+) -> Fig2Result:
+    """Run (or reuse) the Figure 2 sweep; timing lives in ``result.times``."""
+    return run_fig2(profile=profile, cache=cache)

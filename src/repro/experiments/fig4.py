@@ -1,0 +1,135 @@
+"""Figure 4 — communication-only application times (cage15 / rgg).
+
+For each of the 7 partitioners' task graphs of a flagship matrix, run the
+mapping algorithms DEF, TMAP, UG, UWH, UMC, UMMC (SMAP is excluded from
+the paper's figure "for clarity"), simulate the communication-only
+application 5 times, and report WH/MMC/MC plus the mean execution time —
+everything normalized to DEF on the PATOH graph.
+
+Message scaling follows the paper: 4K for the cage-like flagship, 256K
+for the rgg-like one, which pushes both apps into the bandwidth-bound
+regime where WH and MC dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.harness import WorkloadCache, run_mapper
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.sim.commapp import CommOnlyApp
+from repro.util.rng import mix_seed
+
+__all__ = ["run_fig4", "format_fig4", "Fig4Result", "FIG4_MAPPERS", "FIG4_SCALES"]
+
+FIG4_MAPPERS: Tuple[str, ...] = ("DEF", "TMAP", "UG", "UWH", "UMC", "UMMC")
+FIG4_PARTITIONERS: Tuple[str, ...] = (
+    "KAFFPA",
+    "METIS",
+    "PATOH",
+    "SCOTCH",
+    "UMPAMM",
+    "UMPAMV",
+    "UMPATM",
+)
+#: Paper scaling factors (bytes per volume unit).
+FIG4_SCALES: Dict[str, float] = {"cage15_like": 4096.0, "rgg_n23_like": 262144.0}
+FIG4_METRICS: Tuple[str, ...] = ("WH", "MMC", "MC")
+
+
+@dataclass
+class Fig4Result:
+    """``values[(partitioner, mapper, column)]`` normalized to DEF@PATOH.
+
+    Columns: WH, MMC, MC, time; ``time_std`` carries the normalized
+    standard deviation across repetitions.
+    """
+
+    profile: str
+    matrix: str
+    num_procs: int
+    values: Dict[Tuple[str, str, str], float]
+    time_std: Dict[Tuple[str, str], float]
+
+
+def run_fig4(
+    matrix_name: str = "cage15_like",
+    profile: Optional[ExperimentProfile] = None,
+    cache: Optional[WorkloadCache] = None,
+    *,
+    alloc_seed: int = 0,
+) -> Fig4Result:
+    """Communication-only sweep for one flagship matrix."""
+    profile = profile or get_profile("ci")
+    cache = cache or WorkloadCache(profile)
+    if matrix_name not in FIG4_SCALES:
+        raise ValueError(f"fig4 runs on {sorted(FIG4_SCALES)}, got {matrix_name!r}")
+    procs = profile.largest_procs
+    app = CommOnlyApp(scale=FIG4_SCALES[matrix_name])
+    machine = cache.machine(procs, alloc_seed)
+
+    raw: Dict[Tuple[str, str], Dict[str, float]] = {}
+    stds: Dict[Tuple[str, str], float] = {}
+    for part_tool in FIG4_PARTITIONERS:
+        wl = cache.workload(matrix_name, part_tool, procs)
+        shared = cache.groups(matrix_name, part_tool, procs, alloc_seed)
+        for algo in FIG4_MAPPERS:
+            groups = None if algo in ("DEF", "TMAP") else shared
+            result, metrics, _ = run_mapper(
+                algo, wl, machine, seed=mix_seed(profile.seed, 17 + alloc_seed), groups=groups
+            )
+            times = app.run(
+                wl.task_graph,
+                machine,
+                result.fine_gamma,
+                repetitions=profile.repetitions,
+                seed=mix_seed(profile.seed, 23 + alloc_seed),
+            )
+            d = metrics.as_dict()
+            raw[(part_tool, algo)] = {
+                "WH": d["WH"],
+                "MMC": d["MMC"],
+                "MC": d["MC"],
+                "time": float(np.mean(times)),
+            }
+            stds[(part_tool, algo)] = float(np.std(times))
+
+    ref = raw[("PATOH", "DEF")]
+    values = {
+        (pt, al, col): raw[(pt, al)][col] / ref[col]
+        for (pt, al) in raw
+        for col in ("WH", "MMC", "MC", "time")
+    }
+    time_std = {k: stds[k] / ref["time"] for k in stds}
+    return Fig4Result(
+        profile=profile.name,
+        matrix=matrix_name,
+        num_procs=procs,
+        values=values,
+        time_std=time_std,
+    )
+
+
+def format_fig4(result: Fig4Result) -> str:
+    """Paper-layout block: per partitioner, one row per mapper."""
+    lines = [
+        f"Figure 4 (profile={result.profile}): comm-only on {result.matrix}, "
+        f"#procs={result.num_procs}, normalized to DEF on PATOH"
+    ]
+    header = (
+        f"{'partitioner':>12s} {'mapper':>6s} "
+        + " ".join(f"{m:>7s}" for m in FIG4_METRICS)
+        + f" {'time':>7s} {'±std':>6s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for pt in FIG4_PARTITIONERS:
+        for al in FIG4_MAPPERS:
+            row = " ".join(f"{result.values[(pt, al, m)]:7.3f}" for m in FIG4_METRICS)
+            t = result.values[(pt, al, "time")]
+            s = result.time_std[(pt, al)]
+            lines.append(f"{pt:>12s} {al:>6s} {row} {t:7.3f} {s:6.3f}")
+    return "\n".join(lines)

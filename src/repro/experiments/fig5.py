@@ -1,0 +1,119 @@
+"""Figure 5 — Trilinos/Tpetra SpMV times (cage15-like).
+
+Same grid as Figure 4 (7 partitioners × 6 mappers) but running the SpMV
+kernel simulator with *unscaled* message sizes over 500 iterations, and
+reporting TH instead of WH ("its correlation with the total execution
+time is better" for the latency-bound kernel).  Expected shape
+(Sec. IV-D): UWH best overall (up to ~23% vs DEF), UG close, UMC less
+competitive than in the comm-only case, TMAP ≈ DEF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.fig4 import FIG4_MAPPERS, FIG4_PARTITIONERS
+from repro.experiments.harness import WorkloadCache, run_mapper
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.sim.spmv import SpMVSimulator
+from repro.util.rng import mix_seed
+
+__all__ = ["run_fig5", "format_fig5", "Fig5Result", "FIG5_METRICS"]
+
+FIG5_METRICS: Tuple[str, ...] = ("TH", "MMC", "MC")
+
+
+@dataclass
+class Fig5Result:
+    """``values[(partitioner, mapper, column)]`` normalized to DEF@PATOH."""
+
+    profile: str
+    matrix: str
+    num_procs: int
+    iterations: int
+    values: Dict[Tuple[str, str, str], float]
+    time_std: Dict[Tuple[str, str], float]
+
+
+def run_fig5(
+    matrix_name: str = "cage15_like",
+    profile: Optional[ExperimentProfile] = None,
+    cache: Optional[WorkloadCache] = None,
+    *,
+    alloc_seed: int = 0,
+    iterations: int = 500,
+) -> Fig5Result:
+    """SpMV sweep for the cage-like flagship."""
+    profile = profile or get_profile("ci")
+    cache = cache or WorkloadCache(profile)
+    procs = profile.largest_procs
+    sim = SpMVSimulator(iterations=iterations)
+    machine = cache.machine(procs, alloc_seed)
+
+    raw: Dict[Tuple[str, str], Dict[str, float]] = {}
+    stds: Dict[Tuple[str, str], float] = {}
+    for part_tool in FIG4_PARTITIONERS:
+        wl = cache.workload(matrix_name, part_tool, procs)
+        shared = cache.groups(matrix_name, part_tool, procs, alloc_seed)
+        for algo in FIG4_MAPPERS:
+            groups = None if algo in ("DEF", "TMAP") else shared
+            result, metrics, _ = run_mapper(
+                algo, wl, machine, seed=mix_seed(profile.seed, 31 + alloc_seed), groups=groups
+            )
+            times = sim.run(
+                wl.task_graph,
+                machine,
+                result.fine_gamma,
+                repetitions=profile.repetitions,
+                seed=mix_seed(profile.seed, 41 + alloc_seed),
+            )
+            d = metrics.as_dict()
+            raw[(part_tool, algo)] = {
+                "TH": d["TH"],
+                "MMC": d["MMC"],
+                "MC": d["MC"],
+                "time": float(np.mean(times)),
+            }
+            stds[(part_tool, algo)] = float(np.std(times))
+
+    ref = raw[("PATOH", "DEF")]
+    values = {
+        (pt, al, col): raw[(pt, al)][col] / ref[col]
+        for (pt, al) in raw
+        for col in ("TH", "MMC", "MC", "time")
+    }
+    time_std = {k: stds[k] / ref["time"] for k in stds}
+    return Fig5Result(
+        profile=profile.name,
+        matrix=matrix_name,
+        num_procs=procs,
+        iterations=iterations,
+        values=values,
+        time_std=time_std,
+    )
+
+
+def format_fig5(result: Fig5Result) -> str:
+    """Paper-layout block: per partitioner, one row per mapper."""
+    lines = [
+        f"Figure 5 (profile={result.profile}): SpMV on {result.matrix}, "
+        f"#procs={result.num_procs}, {result.iterations} iters, "
+        "normalized to DEF on PATOH"
+    ]
+    header = (
+        f"{'partitioner':>12s} {'mapper':>6s} "
+        + " ".join(f"{m:>7s}" for m in FIG5_METRICS)
+        + f" {'time':>7s} {'±std':>6s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for pt in FIG4_PARTITIONERS:
+        for al in FIG4_MAPPERS:
+            row = " ".join(f"{result.values[(pt, al, m)]:7.3f}" for m in FIG5_METRICS)
+            t = result.values[(pt, al, "time")]
+            s = result.time_std[(pt, al)]
+            lines.append(f"{pt:>12s} {al:>6s} {row} {t:7.3f} {s:6.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Shared plumbing for the experiment runners.
+
+Workload construction (matrix → partition → MPI task graph), machine
+construction (torus sizing + sparse allocation), and a per-process memo
+cache so figure runners sharing inputs (e.g. Fig. 2 and Fig. 3) don't
+repeat partitioning work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.corpus import CORPUS, load_matrix
+from repro.graph.matrices import SparseMatrix
+from repro.graph.task_graph import TaskGraph
+from repro.hypergraph.model import Hypergraph
+from repro.mapping.pipeline import MapperResult, TwoPhaseMapper, prepare_groups
+from repro.metrics.mapping import MappingMetrics, evaluate_mapping
+from repro.metrics.nodes import NodeMetrics, evaluate_node_metrics
+from repro.metrics.partition import PartitionMetrics, evaluate_partition
+from repro.partition.toolbox import get_partitioner
+from repro.experiments.profiles import ExperimentProfile
+from repro.topology.allocation import AllocationSpec, SparseAllocator, torus_for_job
+from repro.topology.machine import Machine
+from repro.util.rng import mix_seed
+
+__all__ = ["Workload", "build_workload", "build_machine", "run_mapper", "WorkloadCache"]
+
+
+@dataclass
+class Workload:
+    """A partitioned matrix ready for mapping experiments."""
+
+    matrix: SparseMatrix
+    hypergraph: Hypergraph
+    partitioner: str
+    num_procs: int
+    part: np.ndarray
+    task_graph: TaskGraph
+    partition_metrics: PartitionMetrics
+
+
+def build_workload(
+    matrix: SparseMatrix,
+    hypergraph: Hypergraph,
+    partitioner: str,
+    num_procs: int,
+    seed: int,
+) -> Workload:
+    """Partition *matrix* into ranks with one tool; derive the task graph."""
+    tool = get_partitioner(partitioner)
+    result = tool.partition(matrix, num_procs, seed=seed, hypergraph=hypergraph)
+    pm = evaluate_partition(hypergraph, result.part, num_procs)
+    loads = np.bincount(result.part, weights=hypergraph.loads, minlength=num_procs)
+    tg = TaskGraph.from_comm_triplets(
+        num_procs, hypergraph.comm_triplets(result.part, num_procs), loads=loads
+    )
+    return Workload(
+        matrix=matrix,
+        hypergraph=hypergraph,
+        partitioner=partitioner,
+        num_procs=num_procs,
+        part=result.part,
+        task_graph=tg,
+        partition_metrics=pm,
+    )
+
+
+def build_machine(
+    profile: ExperimentProfile, num_procs: int, alloc_seed: int
+) -> Machine:
+    """Torus + sparse allocation for *num_procs* under *profile*."""
+    nodes = profile.nodes_for(num_procs)
+    torus = torus_for_job(nodes, headroom=profile.torus_headroom)
+    allocator = SparseAllocator(torus)
+    return allocator.allocate(
+        AllocationSpec(
+            num_nodes=nodes,
+            procs_per_node=profile.procs_per_node,
+            fragmentation=profile.fragmentation,
+            seed=mix_seed(profile.seed, 7_700_000 + alloc_seed),
+        )
+    )
+
+
+def run_mapper(
+    name: str,
+    workload: Workload,
+    machine: Machine,
+    *,
+    seed: int,
+    groups: Optional[Tuple[np.ndarray, TaskGraph]] = None,
+) -> Tuple[MapperResult, MappingMetrics, NodeMetrics]:
+    """Run one mapping algorithm; return result + fine-level metrics."""
+    mapper = TwoPhaseMapper(algorithm=name, seed=seed)
+    result = mapper.map(workload.task_graph, machine, groups=groups)
+    metrics = evaluate_mapping(workload.task_graph, machine, result.fine_gamma)
+    node_metrics = evaluate_node_metrics(result.coarse)
+    return result, metrics, node_metrics
+
+
+class WorkloadCache:
+    """Per-process memoization of matrices, hypergraphs and workloads."""
+
+    def __init__(self, profile: ExperimentProfile) -> None:
+        self.profile = profile
+        self._matrices: Dict[str, SparseMatrix] = {}
+        self._hypergraphs: Dict[str, Hypergraph] = {}
+        self._workloads: Dict[Tuple[str, str, int], Workload] = {}
+        self._machines: Dict[Tuple[int, int], Machine] = {}
+        self._groups: Dict[Tuple[str, str, int, int, int], Tuple[np.ndarray, TaskGraph]] = {}
+
+    # ------------------------------------------------------------------
+    def corpus_entries(self):
+        names = self.profile.corpus_names
+        return [e for e in CORPUS if not names or e.name in names]
+
+    def matrix(self, name: str) -> SparseMatrix:
+        if name not in self._matrices:
+            entry = next(e for e in CORPUS if e.name == name)
+            self._matrices[name] = load_matrix(
+                entry, self.profile.rows_per_unit, self.profile.seed
+            )
+        return self._matrices[name]
+
+    def hypergraph(self, name: str) -> Hypergraph:
+        if name not in self._hypergraphs:
+            self._hypergraphs[name] = Hypergraph.from_matrix(self.matrix(name))
+        return self._hypergraphs[name]
+
+    def workload(self, matrix_name: str, partitioner: str, num_procs: int) -> Workload:
+        key = (matrix_name, partitioner, num_procs)
+        if key not in self._workloads:
+            self._workloads[key] = build_workload(
+                self.matrix(matrix_name),
+                self.hypergraph(matrix_name),
+                partitioner,
+                num_procs,
+                seed=mix_seed(self.profile.seed, hash_key(key)),
+            )
+        return self._workloads[key]
+
+    def machine(self, num_procs: int, alloc_seed: int) -> Machine:
+        key = (num_procs, alloc_seed)
+        if key not in self._machines:
+            self._machines[key] = build_machine(self.profile, num_procs, alloc_seed)
+        return self._machines[key]
+
+    def groups(
+        self, matrix_name: str, partitioner: str, num_procs: int, alloc_seed: int
+    ) -> Tuple[np.ndarray, TaskGraph]:
+        """Shared grouping (phase-1 partition of ranks into nodes)."""
+        key = (matrix_name, partitioner, num_procs, alloc_seed, 0)
+        if key not in self._groups:
+            wl = self.workload(matrix_name, partitioner, num_procs)
+            mach = self.machine(num_procs, alloc_seed)
+            self._groups[key] = prepare_groups(
+                wl.task_graph, mach, seed=mix_seed(self.profile.seed, hash_key(key))
+            )
+        return self._groups[key]
+
+
+def hash_key(key) -> int:
+    """Stable small hash of a tuple of strs/ints (process-independent)."""
+    import zlib
+
+    return zlib.crc32(repr(key).encode()) & 0xFFFF

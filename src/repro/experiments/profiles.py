@@ -1,0 +1,129 @@
+"""Experiment scale profiles.
+
+The paper's evaluation runs on Hopper with 1024–16384 processors (16 used
+per node) over 25 matrices with millions of rows.  A pure-Python
+reproduction sweeps the same *structure* at configurable scale:
+
+* ``smoke``  — seconds; used by the test suite.
+* ``ci``     — minutes; the default for the benchmark harness.
+* ``small``  — tens of minutes; closer shapes, still laptop-friendly.
+* ``paper``  — the paper's processor counts (hours in pure Python).
+
+Select via ``REPRO_PROFILE=ci pytest benchmarks ...`` or pass a profile
+object explicitly to any runner.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["ExperimentProfile", "PROFILES", "get_profile", "profile_from_env"]
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Scale knobs shared by all experiment runners."""
+
+    name: str
+    #: matrix rows per corpus size unit (flagships are 2 units).
+    rows_per_unit: int
+    #: the "number of processors" x-axis (Figs. 1-3 sweep these).
+    proc_counts: Tuple[int, ...]
+    #: processors used per node (paper: 16 of Hopper's 24).
+    procs_per_node: int
+    #: allocation fragmentation (fraction of torus busy with other jobs).
+    fragmentation: float
+    #: allocation seeds; Fig. 2 averages over 5 allocations, Table I uses 2.
+    alloc_seeds: Tuple[int, ...]
+    #: corpus entries used for the metric sweeps ((); = all 25).
+    corpus_names: Tuple[str, ...] = ()
+    #: repetitions for timed simulations (paper: 5).
+    repetitions: int = 5
+    #: torus head-room: torus nodes >= headroom * allocated nodes.
+    torus_headroom: float = 2.5
+    #: base RNG seed for the whole experiment family.
+    seed: int = 2015
+
+    @property
+    def largest_procs(self) -> int:
+        return max(self.proc_counts)
+
+    def nodes_for(self, procs: int) -> int:
+        if procs % self.procs_per_node:
+            raise ValueError(
+                f"{procs} processors not divisible by {self.procs_per_node}/node"
+            )
+        return procs // self.procs_per_node
+
+
+_MID_CORPUS = (
+    "cage15_like",
+    "rgg_n23_like",
+    "cage12_like",
+    "rgg_n21_like",
+    "ecology_like",
+    "atmosmodd_like",
+    "webbase_like",
+    "af_shell_like",
+    "freescale_like",
+    "roadnet_like",
+    "econ_fwd_like",
+)
+
+PROFILES: Dict[str, ExperimentProfile] = {
+    "smoke": ExperimentProfile(
+        name="smoke",
+        rows_per_unit=600,
+        proc_counts=(32, 64),
+        procs_per_node=4,
+        fragmentation=0.3,
+        alloc_seeds=(0,),
+        corpus_names=("cage15_like", "rgg_n23_like", "ecology_like"),
+        repetitions=2,
+    ),
+    "ci": ExperimentProfile(
+        name="ci",
+        rows_per_unit=1200,
+        proc_counts=(64, 128, 256),
+        procs_per_node=4,
+        fragmentation=0.35,
+        alloc_seeds=(0, 1),
+        corpus_names=_MID_CORPUS[:7],
+        repetitions=3,
+    ),
+    "small": ExperimentProfile(
+        name="small",
+        rows_per_unit=2500,
+        proc_counts=(128, 256, 512),
+        procs_per_node=8,
+        fragmentation=0.35,
+        alloc_seeds=(0, 1, 2),
+        corpus_names=_MID_CORPUS,
+        repetitions=5,
+    ),
+    "paper": ExperimentProfile(
+        name="paper",
+        rows_per_unit=40000,
+        proc_counts=(1024, 2048, 4096, 8192, 16384),
+        procs_per_node=16,
+        fragmentation=0.35,
+        alloc_seeds=(0, 1, 2, 3, 4),
+        corpus_names=(),
+        repetitions=5,
+    ),
+}
+
+
+def get_profile(name: str) -> ExperimentProfile:
+    """Look up a profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(f"unknown profile {name!r}; available: {sorted(PROFILES)}") from None
+
+
+def profile_from_env(default: str = "ci") -> ExperimentProfile:
+    """Profile selected by the ``REPRO_PROFILE`` environment variable."""
+    return get_profile(os.environ.get("REPRO_PROFILE", default))

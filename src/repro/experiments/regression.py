@@ -1,0 +1,118 @@
+"""Sec. IV-E — NNLS regression of execution time on the 14 metrics.
+
+Two analyses (both on the cage-like flagship at the largest processor
+count, over two allocations, across all partitioner × mapper pairs):
+
+* **comm-only** (scaled messages): the paper finds WH, MSV and MC with
+  nonzero coefficients — volume metrics dominate;
+* **SpMV** (latency-bound): AMC, ICV, MMC, TH and MNRV — with AMC highly
+  Pearson-correlated (≥0.92) with MNRM, ICM and TM, which hides those
+  three from the NNLS fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.regression import (
+    METRIC_COLUMNS,
+    RegressionResult,
+    nnls_regression,
+    pearson_matrix,
+)
+from repro.experiments.fig4 import FIG4_MAPPERS, FIG4_PARTITIONERS, FIG4_SCALES
+from repro.experiments.harness import WorkloadCache, run_mapper
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.sim.commapp import CommOnlyApp
+from repro.sim.spmv import SpMVSimulator
+from repro.util.rng import mix_seed
+
+__all__ = ["run_regression", "format_regression", "RegressionStudy"]
+
+
+@dataclass
+class RegressionStudy:
+    """NNLS fits for both applications plus the Pearson matrix."""
+
+    profile: str
+    comm_only: RegressionResult
+    spmv: RegressionResult
+    pearson_spmv: Dict[Tuple[str, str], float]
+    num_rows: int
+
+
+def _metric_row(pm, mm, nm) -> List[float]:
+    """Assemble one row of V in METRIC_COLUMNS order."""
+    d = {**pm.as_dict(), **mm.as_dict(), **nm.as_dict()}
+    return [float(d[c]) for c in METRIC_COLUMNS]
+
+
+def run_regression(
+    profile: Optional[ExperimentProfile] = None,
+    cache: Optional[WorkloadCache] = None,
+    matrix_name: str = "cage15_like",
+) -> RegressionStudy:
+    """Collect (V, t) over partitioners × mappers × allocations; fit NNLS."""
+    profile = profile or get_profile("ci")
+    cache = cache or WorkloadCache(profile)
+    procs = profile.largest_procs
+    alloc_seeds = profile.alloc_seeds[:2]
+    comm_app = CommOnlyApp(scale=FIG4_SCALES[matrix_name])
+    spmv = SpMVSimulator(iterations=100)
+
+    rows: List[List[float]] = []
+    t_comm: List[float] = []
+    t_spmv: List[float] = []
+    for alloc_seed in alloc_seeds:
+        machine = cache.machine(procs, alloc_seed)
+        for part_tool in FIG4_PARTITIONERS:
+            wl = cache.workload(matrix_name, part_tool, procs)
+            shared = cache.groups(matrix_name, part_tool, procs, alloc_seed)
+            for algo in FIG4_MAPPERS:
+                groups = None if algo in ("DEF", "TMAP") else shared
+                result, mm, nm = run_mapper(
+                    algo,
+                    wl,
+                    machine,
+                    seed=mix_seed(profile.seed, 61 + alloc_seed),
+                    groups=groups,
+                )
+                rows.append(_metric_row(wl.partition_metrics, mm, nm))
+                t_comm.append(
+                    comm_app.execution_time(wl.task_graph, machine, result.fine_gamma)
+                )
+                t_spmv.append(
+                    spmv.execution_time(wl.task_graph, machine, result.fine_gamma)
+                )
+
+    v = np.asarray(rows, dtype=np.float64)
+    fit_comm = nnls_regression(v, np.asarray(t_comm))
+    fit_spmv = nnls_regression(v, np.asarray(t_spmv))
+    return RegressionStudy(
+        profile=profile.name,
+        comm_only=fit_comm,
+        spmv=fit_spmv,
+        pearson_spmv=pearson_matrix(v),
+        num_rows=v.shape[0],
+    )
+
+
+def format_regression(study: RegressionStudy) -> str:
+    """Report the nonzero coefficients and the AMC correlation block."""
+    lines = [
+        f"Regression (profile={study.profile}, rows={study.num_rows})",
+        "comm-only nonzero coefficients:",
+    ]
+    for k, v in study.comm_only.nonzero().items():
+        lines.append(f"  {k:>5s}: {v:.4g}")
+    lines.append("SpMV nonzero coefficients:")
+    for k, v in study.spmv.nonzero().items():
+        lines.append(f"  {k:>5s}: {v:.4g}")
+    lines.append("Pearson correlation with AMC:")
+    for other in ("MNRM", "ICM", "TM", "TH"):
+        key = ("AMC", other) if ("AMC", other) in study.pearson_spmv else (other, "AMC")
+        lines.append(f"  AMC~{other}: {study.pearson_spmv[key]:.3f}")
+    return "\n".join(lines)

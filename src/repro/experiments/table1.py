@@ -1,0 +1,144 @@
+"""Table I — summary of average improvements across allocations.
+
+For each (application, processor count, allocation), the geometric mean
+over all 7 partitioners' task graphs of each mapper's execution time,
+normalized to DEF.  Rows:
+
+* cage15 SpMV at the two largest processor counts × two allocations
+  (500 / 1000 iterations respectively);
+* cage15 comm-only at the same counts × two allocations;
+* rgg comm-only at the largest count × two allocations;
+
+plus the per-application geometric-mean row ("Gmean").  Expected shape:
+UWH ≈ 0.91 / 0.86 / 0.80 for the three applications; TMAP ≈ 1.0;
+UMMC > 1 on the scaled cage comm-only app.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import geometric_mean
+from repro.experiments.fig4 import FIG4_MAPPERS, FIG4_PARTITIONERS, FIG4_SCALES
+from repro.experiments.harness import WorkloadCache, run_mapper
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.sim.commapp import CommOnlyApp
+from repro.sim.spmv import SpMVSimulator
+from repro.util.rng import mix_seed
+
+__all__ = ["run_table1", "format_table1", "Table1Result", "TABLE1_MAPPERS"]
+
+TABLE1_MAPPERS: Tuple[str, ...] = ("TMAP", "UG", "UWH", "UMC", "UMMC")
+
+
+@dataclass
+class Table1Result:
+    """Rows: ``(app, procs, rep) -> {mapper: normalized time}`` + DEF secs."""
+
+    profile: str
+    rows: Dict[Tuple[str, int, int], Dict[str, float]]
+    def_seconds: Dict[Tuple[str, int, int], float]
+
+    def gmean(self, app: str) -> Dict[str, float]:
+        """Per-application geometric mean across its rows."""
+        keys = [k for k in self.rows if k[0] == app]
+        return {
+            m: geometric_mean([self.rows[k][m] for k in keys])
+            for m in TABLE1_MAPPERS
+        }
+
+
+def _app_runner(app: str, iterations: int):
+    if app == "cage_spmv":
+        return lambda tg, mach, gamma, reps, seed: SpMVSimulator(
+            iterations=iterations
+        ).run(tg, mach, gamma, repetitions=reps, seed=seed)
+    scale = FIG4_SCALES["cage15_like" if app == "cage_comm" else "rgg_n23_like"]
+    return lambda tg, mach, gamma, reps, seed: CommOnlyApp(scale=scale).run(
+        tg, mach, gamma, repetitions=reps, seed=seed
+    )
+
+
+def run_table1(
+    profile: Optional[ExperimentProfile] = None,
+    cache: Optional[WorkloadCache] = None,
+) -> Table1Result:
+    """Full Table I sweep at the profile's two largest processor counts."""
+    profile = profile or get_profile("ci")
+    cache = cache or WorkloadCache(profile)
+    top_counts = sorted(profile.proc_counts)[-2:]
+    alloc_reps = list(profile.alloc_seeds[:2])
+
+    plan: List[Tuple[str, str, int, int, int]] = []
+    for i, procs in enumerate(top_counts):
+        for rep, alloc_seed in enumerate(alloc_reps, start=1):
+            iters = 500 if rep == 1 else 1000
+            plan.append(("cage_spmv", "cage15_like", procs, rep, iters))
+            plan.append(("cage_comm", "cage15_like", procs, rep, 0))
+    largest = top_counts[-1]
+    for rep, alloc_seed in enumerate(alloc_reps, start=1):
+        plan.append(("rgg_comm", "rgg_n23_like", largest, rep, 0))
+
+    rows: Dict[Tuple[str, int, int], Dict[str, float]] = {}
+    def_seconds: Dict[Tuple[str, int, int], float] = {}
+    for app, matrix_name, procs, rep, iters in plan:
+        alloc_seed = alloc_reps[rep - 1]
+        machine = cache.machine(procs, alloc_seed)
+        runner = _app_runner(app, iters)
+        per_mapper_times: Dict[str, List[float]] = {
+            m: [] for m in ("DEF",) + TABLE1_MAPPERS
+        }
+        for part_tool in FIG4_PARTITIONERS:
+            wl = cache.workload(matrix_name, part_tool, procs)
+            shared = cache.groups(matrix_name, part_tool, procs, alloc_seed)
+            for algo in ("DEF",) + TABLE1_MAPPERS:
+                groups = None if algo in ("DEF", "TMAP") else shared
+                result, _, _ = run_mapper(
+                    algo,
+                    wl,
+                    machine,
+                    seed=mix_seed(profile.seed, 53 + alloc_seed + procs),
+                    groups=groups,
+                )
+                times = runner(
+                    wl.task_graph,
+                    machine,
+                    result.fine_gamma,
+                    profile.repetitions,
+                    mix_seed(profile.seed, 59 + rep),
+                )
+                per_mapper_times[algo].append(float(np.mean(times)))
+        def_gm = geometric_mean(per_mapper_times["DEF"])
+        def_seconds[(app, procs, rep)] = def_gm
+        rows[(app, procs, rep)] = {
+            m: geometric_mean(per_mapper_times[m]) / def_gm for m in TABLE1_MAPPERS
+        }
+    return Table1Result(profile=profile.name, rows=rows, def_seconds=def_seconds)
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render Table I: DEF seconds + normalized times per mapper."""
+    lines = [f"Table I (profile={result.profile}): normalized geo-mean times"]
+    header = (
+        f"{'app':>10s} {'procs':>7s} {'rep':>4s} {'DEF(s)':>9s} "
+        + " ".join(f"{m:>6s}" for m in TABLE1_MAPPERS)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    apps = ("cage_spmv", "cage_comm", "rgg_comm")
+    for app in apps:
+        keys = sorted(k for k in result.rows if k[0] == app)
+        for key in keys:
+            _, procs, rep = key
+            row = " ".join(f"{result.rows[key][m]:6.2f}" for m in TABLE1_MAPPERS)
+            lines.append(
+                f"{app:>10s} {procs:>7d} {rep:>4d} "
+                f"{result.def_seconds[key]:9.4f} {row}"
+            )
+        gm = result.gmean(app)
+        row = " ".join(f"{gm[m]:6.2f}" for m in TABLE1_MAPPERS)
+        lines.append(f"{app:>10s} {'Gmean':>7s} {'':>4s} {'':>9s} {row}")
+    return "\n".join(lines)

@@ -1,0 +1,348 @@
+"""Synthetic sparse-matrix generators standing in for the UFL collection.
+
+The paper evaluates on 25 UFL matrices "belonging to 9 different classes".
+Offline we cannot download the collection, so each class is replaced by a
+deterministic generator producing matrices with the same *structural*
+character -- what actually drives communication-graph shape after 1-D
+row-wise partitioning:
+
+=================  =====================================================
+class              structural character reproduced
+=================  =====================================================
+``cage``           DNA-electrophoresis chains: narrow band + bounded
+                   long-range couplings, near-constant row degree
+``rgg``            random geometric graph: pure spatial locality,
+                   Poisson degrees (matches rgg_n_2_23_s0)
+``stencil2d``      5-point Laplacian on a square grid
+``stencil3d``      7-point Laplacian on a cube
+``powerlaw``       scale-free web/social pattern, heavy-tailed degrees
+``fem``            finite-element triangulation: planar-ish, clustered
+``circuit``        circuit simulation: sparse rows + a few dense
+                   columns (power/ground rails)
+``road``           road-network-like: very sparse, large diameter
+``econ``           input-output economics: block structure + dense
+                   coupling rows
+=================  =====================================================
+
+All generators return a :class:`repro.graph.matrices.SparseMatrix` whose
+pattern is symmetric (SpMV communication is analysed on the symmetrized
+structure anyway) with a structurally full diagonal, and are deterministic
+in ``(n, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.matrices import SparseMatrix
+from repro.util.rng import seeded_rng
+
+__all__ = [
+    "cage_like",
+    "rgg_like",
+    "stencil2d",
+    "stencil3d",
+    "powerlaw_like",
+    "fem_like",
+    "circuit_like",
+    "road_like",
+    "econ_like",
+    "generate_matrix",
+    "GENERATORS",
+]
+
+
+def _symmetrize(n: int, rows: np.ndarray, cols: np.ndarray) -> sp.csr_array:
+    """Build a symmetric boolean CSR pattern from (possibly duplicated) pairs."""
+    src = np.concatenate([rows, cols])
+    dst = np.concatenate([cols, rows])
+    data = np.ones(src.shape[0], dtype=np.int8)
+    mat = sp.csr_array((data, (src, dst)), shape=(n, n))
+    mat.data = np.ones_like(mat.data)
+    return mat
+
+
+def cage_like(n: int, seed: int = 0, *, band: int = 4, longlinks: int = 3) -> SparseMatrix:
+    """cage15-like pattern: banded core plus bounded long-range couplings.
+
+    The cage models (DNA electrophoresis) have an almost regular degree
+    (~19 for cage15) with most couplings near the diagonal and a few
+    medium-range ones.  We take a band of half-width *band* plus
+    *longlinks* couplings per row at geometrically distributed offsets.
+    """
+    rng = seeded_rng(seed)
+    idx = np.arange(n, dtype=np.int64)
+    rows = []
+    cols = []
+    for off in range(1, band + 1):
+        rows.append(idx[:-off])
+        cols.append(idx[:-off] + off)
+    # Long-range couplings: offset ~ geometric, capped at n/8, both signs.
+    for _ in range(longlinks):
+        off = np.minimum(
+            (rng.geometric(p=3.0 / max(4, n // 64), size=n) + band),
+            max(band + 1, n // 8),
+        )
+        tgt = np.clip(idx + off * rng.choice([-1, 1], size=n), 0, n - 1)
+        rows.append(idx)
+        cols.append(tgt)
+    pattern = _symmetrize(n, np.concatenate(rows), np.concatenate(cols))
+    return SparseMatrix(name=f"cage_like_n{n}_s{seed}", group="cage", pattern=pattern)
+
+
+def rgg_like(n: int, seed: int = 0, *, degree: float = 12.0) -> SparseMatrix:
+    """Random geometric graph on the unit square with expected *degree*.
+
+    Matches rgg_n_2_23_s0: vertices = random points, edges between pairs
+    within radius r chosen so the mean degree is ~*degree*.  Implemented
+    with a uniform grid of bucket size r, so the construction is
+    O(n·degree) instead of O(n²).
+    """
+    rng = seeded_rng(seed)
+    pts = rng.random((n, 2))
+    r = float(np.sqrt(degree / (np.pi * n)))
+    nb = max(1, int(1.0 / r))
+    cell = np.minimum((pts / (1.0 / nb)).astype(np.int64), nb - 1)
+    cell_id = cell[:, 0] * nb + cell[:, 1]
+    order = np.argsort(cell_id, kind="stable")
+    sorted_ids = cell_id[order]
+    starts = np.searchsorted(sorted_ids, np.arange(nb * nb))
+    ends = np.searchsorted(sorted_ids, np.arange(nb * nb) + 1)
+
+    rows_out = []
+    cols_out = []
+    r2 = r * r
+    # For each occupied cell, compare against the 5 forward-neighbour cells
+    # (self, E, N, NE, NW) -- each unordered pair is examined exactly once.
+    offsets = [(0, 0), (1, 0), (0, 1), (1, 1), (-1, 1)]
+    for cx in range(nb):
+        for cy in range(nb):
+            cid = cx * nb + cy
+            a0, a1 = starts[cid], ends[cid]
+            if a0 == a1:
+                continue
+            pa = order[a0:a1]
+            for dx, dy in offsets:
+                ox, oy = cx + dx, cy + dy
+                if not (0 <= ox < nb and 0 <= oy < nb):
+                    continue
+                oid = ox * nb + oy
+                b0, b1 = starts[oid], ends[oid]
+                if b0 == b1:
+                    continue
+                pb = order[b0:b1]
+                diff = pts[pa, None, :] - pts[None, pb, :]
+                d2 = (diff * diff).sum(axis=2)
+                ii, jj = np.nonzero(d2 <= r2)
+                src, dst = pa[ii], pb[jj]
+                if (dx, dy) == (0, 0):
+                    keep = src < dst
+                    src, dst = src[keep], dst[keep]
+                rows_out.append(src)
+                cols_out.append(dst)
+    rows = np.concatenate(rows_out) if rows_out else np.empty(0, dtype=np.int64)
+    cols = np.concatenate(cols_out) if cols_out else np.empty(0, dtype=np.int64)
+    pattern = _symmetrize(n, rows, cols)
+    return SparseMatrix(name=f"rgg_like_n{n}_s{seed}", group="rgg", pattern=pattern)
+
+
+def stencil2d(n: int, seed: int = 0) -> SparseMatrix:
+    """5-point stencil on a ⌈√n⌉ × ⌈√n⌉ grid (first *n* grid points)."""
+    side = int(np.ceil(np.sqrt(n)))
+    idx = np.arange(n, dtype=np.int64)
+    x, y = idx % side, idx // side
+    rows = []
+    cols = []
+    right = idx + 1
+    ok = (x + 1 < side) & (right < n)
+    rows.append(idx[ok]); cols.append(right[ok])
+    up = idx + side
+    ok = up < n
+    rows.append(idx[ok]); cols.append(up[ok])
+    pattern = _symmetrize(n, np.concatenate(rows), np.concatenate(cols))
+    return SparseMatrix(name=f"stencil2d_n{n}_s{seed}", group="stencil2d", pattern=pattern)
+
+
+def stencil3d(n: int, seed: int = 0) -> SparseMatrix:
+    """7-point stencil on a cube of side ⌈n^(1/3)⌉ (first *n* points)."""
+    side = int(np.ceil(n ** (1.0 / 3.0)))
+    while side**3 < n:
+        side += 1
+    idx = np.arange(n, dtype=np.int64)
+    x = idx % side
+    y = (idx // side) % side
+    rows = []
+    cols = []
+    for stride, coord in ((1, x), (side, y), (side * side, (idx // (side * side)))):
+        nxt = idx + stride
+        ok = (coord + 1 < side) & (nxt < n)
+        rows.append(idx[ok])
+        cols.append(nxt[ok])
+    pattern = _symmetrize(n, np.concatenate(rows), np.concatenate(cols))
+    return SparseMatrix(name=f"stencil3d_n{n}_s{seed}", group="stencil3d", pattern=pattern)
+
+
+def powerlaw_like(n: int, seed: int = 0, *, m_edges: int = 6) -> SparseMatrix:
+    """Scale-free pattern via a vectorized preferential-attachment scheme.
+
+    Each vertex v >= m attaches to *m_edges* earlier vertices sampled with
+    probability ~ (current degree); we approximate the Barabási–Albert
+    process by sampling targets from the concatenated edge-endpoint list
+    (repeated-endpoint trick), vectorized in chunks.
+    """
+    rng = seeded_rng(seed)
+    m = max(2, m_edges)
+    rows = [np.repeat(np.arange(1, m + 1, dtype=np.int64), 1)]
+    cols = [np.zeros(m, dtype=np.int64)]
+    endpoint_pool = [np.zeros(m, dtype=np.int64), np.arange(1, m + 1, dtype=np.int64)]
+    pool = np.concatenate(endpoint_pool)
+    v0 = m + 1
+    chunk = max(256, n // 64)
+    v = v0
+    while v < n:
+        hi = min(n, v + chunk)
+        cnt = hi - v
+        # Sample m targets per new vertex from the current endpoint pool
+        # (falls back to uniform over existing ids for variety).
+        targets = pool[rng.integers(0, pool.shape[0], size=(cnt, m))]
+        uniform = rng.integers(0, v, size=(cnt, m))
+        mix = rng.random((cnt, m)) < 0.85
+        targets = np.where(mix, targets, uniform)
+        src = np.repeat(np.arange(v, hi, dtype=np.int64), m)
+        dst = targets.ravel()
+        rows.append(src)
+        cols.append(dst)
+        pool = np.concatenate([pool, src, dst])
+        v = hi
+    pattern = _symmetrize(n, np.concatenate(rows), np.concatenate(cols))
+    return SparseMatrix(name=f"powerlaw_n{n}_s{seed}", group="powerlaw", pattern=pattern)
+
+
+def fem_like(n: int, seed: int = 0) -> SparseMatrix:
+    """FEM-triangulation-like pattern: jittered grid + Delaunay-ish edges.
+
+    We lay points on a jittered grid and connect each point to its grid
+    neighbours and one diagonal, giving planar-like meshes with degree ~7,
+    similar to 2-D finite-element stiffness matrices.
+    """
+    rng = seeded_rng(seed)
+    side = int(np.ceil(np.sqrt(n)))
+    idx = np.arange(n, dtype=np.int64)
+    x, y = idx % side, idx // side
+    rows = []
+    cols = []
+    for dx, dy in ((1, 0), (0, 1), (1, 1)):
+        nxt = idx + dx + dy * side
+        ok = (x + dx < side) & (y + dy < side) & (nxt < n)
+        rows.append(idx[ok])
+        cols.append(nxt[ok])
+    # Random local re-meshing: a small fraction of anti-diagonals.
+    nxt = idx - 1 + side
+    ok = (x > 0) & (y + 1 < side) & (nxt < n) & (rng.random(n) < 0.35)
+    rows.append(idx[ok])
+    cols.append(nxt[ok])
+    pattern = _symmetrize(n, np.concatenate(rows), np.concatenate(cols))
+    return SparseMatrix(name=f"fem_like_n{n}_s{seed}", group="fem", pattern=pattern)
+
+
+def circuit_like(n: int, seed: int = 0, *, rails: Optional[int] = None) -> SparseMatrix:
+    """Circuit-simulation pattern: sparse local wiring + dense rails.
+
+    Most rows have 2-5 local couplings; a handful of "rail" vertices
+    (power/ground nets) couple to a constant fraction of all rows, creating
+    the dense columns characteristic of circuit matrices.
+    """
+    rng = seeded_rng(seed)
+    if rails is None:
+        rails = max(2, n // 2000 + 2)
+    idx = np.arange(n, dtype=np.int64)
+    deg = rng.integers(2, 6, size=n)
+    src = np.repeat(idx, deg)
+    # Local couplings within a window of 64.
+    offs = rng.integers(1, 64, size=src.shape[0]) * rng.choice([-1, 1], size=src.shape[0])
+    dst = np.clip(src + offs, 0, n - 1)
+    rail_ids = rng.choice(n, size=rails, replace=False).astype(np.int64)
+    fan = rng.random(n) < 0.08
+    rail_src = idx[fan]
+    rail_dst = rail_ids[rng.integers(0, rails, size=rail_src.shape[0])]
+    rows = np.concatenate([src, rail_src])
+    cols = np.concatenate([dst, rail_dst])
+    pattern = _symmetrize(n, rows, cols)
+    return SparseMatrix(name=f"circuit_n{n}_s{seed}", group="circuit", pattern=pattern)
+
+
+def road_like(n: int, seed: int = 0) -> SparseMatrix:
+    """Road-network pattern: near-planar, degree ~2.5, huge diameter.
+
+    A long path (the 'highway') with random local shortcuts and side
+    streets, yielding the low-degree high-diameter structure of road
+    matrices.
+    """
+    rng = seeded_rng(seed)
+    idx = np.arange(n - 1, dtype=np.int64)
+    rows = [idx]
+    cols = [idx + 1]
+    n_extra = n // 3
+    a = rng.integers(0, n, size=n_extra)
+    off = rng.integers(2, 40, size=n_extra)
+    b = np.clip(a + off, 0, n - 1)
+    rows.append(a.astype(np.int64))
+    cols.append(b.astype(np.int64))
+    pattern = _symmetrize(n, np.concatenate(rows), np.concatenate(cols))
+    return SparseMatrix(name=f"road_like_n{n}_s{seed}", group="road", pattern=pattern)
+
+
+def econ_like(n: int, seed: int = 0, *, blocks: int = 24) -> SparseMatrix:
+    """Economics input-output pattern: sector blocks + dense coupling rows.
+
+    Vertices belong to *blocks* sectors; dense intra-sector coupling, sparse
+    inter-sector edges, plus a few rows coupling across all sectors.
+    """
+    rng = seeded_rng(seed)
+    sector = rng.integers(0, blocks, size=n).astype(np.int64)
+    order = np.argsort(sector, kind="stable")
+    rank_in = np.empty(n, dtype=np.int64)
+    rank_in[order] = np.arange(n)
+    # Intra-sector ring + chords (dense-ish blocks).
+    deg = rng.integers(3, 8, size=n)
+    src = np.repeat(np.arange(n, dtype=np.int64), deg)
+    offs = rng.integers(1, 16, size=src.shape[0])
+    # Move within the sector-sorted ordering to stay inside the block.
+    pos = rank_in[src]
+    tgt_pos = np.clip(pos + offs * rng.choice([-1, 1], size=src.shape[0]), 0, n - 1)
+    dst = order[tgt_pos]
+    # Inter-sector couplings.
+    n_x = n // 4
+    xs = rng.integers(0, n, size=n_x).astype(np.int64)
+    xd = rng.integers(0, n, size=n_x).astype(np.int64)
+    rows = np.concatenate([src, xs])
+    cols = np.concatenate([dst, xd])
+    pattern = _symmetrize(n, rows, cols)
+    return SparseMatrix(name=f"econ_like_n{n}_s{seed}", group="econ", pattern=pattern)
+
+
+GENERATORS: Dict[str, Callable[..., SparseMatrix]] = {
+    "cage": cage_like,
+    "rgg": rgg_like,
+    "stencil2d": stencil2d,
+    "stencil3d": stencil3d,
+    "powerlaw": powerlaw_like,
+    "fem": fem_like,
+    "circuit": circuit_like,
+    "road": road_like,
+    "econ": econ_like,
+}
+
+
+def generate_matrix(group: str, n: int, seed: int = 0, **kwargs) -> SparseMatrix:
+    """Dispatch to the generator for *group* (see :data:`GENERATORS`)."""
+    try:
+        gen = GENERATORS[group]
+    except KeyError:
+        raise ValueError(
+            f"unknown matrix group {group!r}; available: {sorted(GENERATORS)}"
+        ) from None
+    return gen(n, seed, **kwargs)

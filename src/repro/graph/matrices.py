@@ -1,0 +1,115 @@
+"""Sparse-matrix container used as the workload substrate.
+
+The paper's evaluation starts from 25 matrices of the University of Florida
+collection, converts each to a column-net hypergraph and partitions it
+1-D row-wise.  :class:`SparseMatrix` is the library's minimal matrix
+abstraction: a CSR *pattern* (values are irrelevant to communication
+analysis -- only the nonzero structure matters) plus identification
+metadata.  Numeric values are synthesized on demand for the SpMV simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["SparseMatrix"]
+
+
+@dataclass
+class SparseMatrix:
+    """A square sparse matrix pattern with workload metadata.
+
+    Attributes
+    ----------
+    name:
+        Dataset name, e.g. ``"cage15_like"``.
+    group:
+        Matrix class (one of the 9 classes mimicking UFL groups).
+    pattern:
+        ``scipy.sparse.csr_array`` of dtype bool/int8 holding the nonzero
+        structure.  The diagonal is always structurally present (every task
+        owns its own x-vector entry in 1-D row-parallel SpMV).
+    """
+
+    name: str
+    group: str
+    pattern: sp.csr_array
+
+    # Cached derived quantities (computed lazily).
+    _row_nnz: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not sp.issparse(self.pattern):
+            raise TypeError("pattern must be a scipy sparse matrix")
+        pat = sp.csr_array(self.pattern)
+        n, m = pat.shape
+        if n != m:
+            raise ValueError(f"matrix must be square, got {pat.shape}")
+        # Force a structurally-present diagonal: row i always references
+        # x_i, so net i always pins vertex i in the column-net model.
+        pat = sp.csr_array(pat + sp.eye_array(n, format="csr"))
+        pat.data = np.ones_like(pat.data)
+        pat.sum_duplicates()
+        pat.sort_indices()
+        self.pattern = pat
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self.pattern.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.pattern.nnz)
+
+    def row_nnz(self) -> np.ndarray:
+        """Nonzeros per row = task computational loads (paper Sec. IV-A)."""
+        if self._row_nnz is None:
+            self._row_nnz = np.diff(self.pattern.indptr).astype(np.float64)
+        return self._row_nnz
+
+    # ------------------------------------------------------------------
+    def structure_graph(self) -> CSRGraph:
+        """Undirected graph of the symmetrized pattern (no self loops).
+
+        This is the working graph handed to *graph* partitioners
+        (SCOTCH/KaFFPa/METIS personalities); edge weight counts how many of
+        ``a_ij`` / ``a_ji`` are present, vertex weights are row nonzeros.
+        """
+        pat = self.pattern
+        coo = pat.tocoo()
+        mask = coo.row != coo.col
+        src = np.concatenate([coo.row[mask], coo.col[mask]])
+        dst = np.concatenate([coo.col[mask], coo.row[mask]])
+        g = CSRGraph.from_edges(
+            self.num_rows,
+            src,
+            dst,
+            np.ones(src.shape[0], dtype=np.float64),
+            self.row_nnz(),
+        )
+        return g
+
+    def values(self, seed: int = 0) -> sp.csr_array:
+        """Synthesize numeric values on the pattern (for SpMV flop counts).
+
+        Values do not influence any mapping metric; they exist so the SpMV
+        simulator can model a numerically plausible kernel.
+        """
+        rng = np.random.default_rng(seed)
+        vals = rng.uniform(0.5, 1.5, size=self.nnz)
+        out = self.pattern.copy().astype(np.float64)
+        out.data = vals
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparseMatrix({self.name!r}, group={self.group!r}, "
+            f"n={self.num_rows}, nnz={self.nnz})"
+        )

@@ -1,0 +1,163 @@
+"""Directed MPI task graphs (``Gt`` in the paper).
+
+A :class:`TaskGraph` is a directed graph whose vertices are MPI tasks and
+whose edge weights ``c(t1, t2)`` are the communication volumes sent from
+``t1`` to ``t2`` (paper Sec. II).  Vertex weights carry computational
+loads, used when partitioning tasks onto nodes with heterogeneous
+processor counts.
+
+Builders:
+
+* :meth:`TaskGraph.from_edges` -- direct construction;
+* :meth:`TaskGraph.from_comm_triplets` -- from (src, dst, volume) arrays
+  (produced by :meth:`repro.hypergraph.model.Hypergraph.comm_triplets`);
+* :func:`coarse_task_graph` -- quotient of a task graph under a partition
+  (the node-level graph the mapping algorithms actually operate on).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["TaskGraph", "coarse_task_graph"]
+
+
+class TaskGraph:
+    """Directed task communication graph with volumes and loads.
+
+    Parameters
+    ----------
+    graph:
+        Directed :class:`CSRGraph`; ``weights`` are communication volumes,
+        ``vertex_weights`` are computational loads.
+    """
+
+    __slots__ = ("graph", "_sym")
+
+    def __init__(self, graph: CSRGraph) -> None:
+        self.graph = graph
+        self._sym: Optional[CSRGraph] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_tasks: int,
+        src,
+        dst,
+        volumes=None,
+        loads: Optional[np.ndarray] = None,
+    ) -> "TaskGraph":
+        """Build from edge arrays; duplicate (src, dst) volumes accumulate."""
+        g = CSRGraph.from_edges(num_tasks, src, dst, volumes, loads)
+        return cls(g.without_self_loops() if _any_self_loop(g) else g)
+
+    @classmethod
+    def from_comm_triplets(
+        cls,
+        num_tasks: int,
+        triplets: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        loads: Optional[np.ndarray] = None,
+    ) -> "TaskGraph":
+        """Build from ``(src, dst, volume)`` arrays."""
+        src, dst, vol = triplets
+        return cls.from_edges(num_tasks, src, dst, vol, loads)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_messages(self) -> int:
+        """Number of directed (sender, receiver) pairs = TM of the phase."""
+        return self.graph.num_edges
+
+    @property
+    def loads(self) -> np.ndarray:
+        return self.graph.vertex_weights
+
+    def total_volume(self) -> float:
+        """Total communication volume (TV over this graph's granularity)."""
+        return self.graph.total_edge_weight()
+
+    def send_volume(self) -> np.ndarray:
+        """float64[n] outgoing volume per task."""
+        return self.graph.out_volume()
+
+    def recv_volume(self) -> np.ndarray:
+        """float64[n] incoming volume per task."""
+        return self.graph.in_volume()
+
+    def send_messages(self) -> np.ndarray:
+        """int64[n] number of distinct destinations per task."""
+        return self.graph.out_degree()
+
+    def msrv_task(self) -> int:
+        """Task with the Maximum Send-Receive Volume.
+
+        Algorithm 1 of the paper starts by mapping ``t_MSRV``, "the task
+        with the maximum send-receive communication volume", to an
+        arbitrary node.  Ties break toward the smaller task id.
+        """
+        total = self.send_volume() + self.recv_volume()
+        return int(np.argmax(total))
+
+    def symmetrized(self) -> CSRGraph:
+        """Undirected volume graph, cached (WH is an undirected metric)."""
+        if self._sym is None:
+            self._sym = self.graph.symmetrized()
+        return self._sym
+
+    def unit_cost(self) -> "TaskGraph":
+        """Copy with all communication volumes set to one.
+
+        Mapping this graph minimizes TH instead of WH — the paper's
+        "adaptation for TH ... is trivial" (Sec. III): the same algorithms
+        run on a unit-cost view of the communication graph.
+        """
+        g = CSRGraph(
+            self.graph.indptr.copy(),
+            self.graph.indices.copy(),
+            np.ones(self.graph.num_edges, dtype=np.float64),
+            self.graph.vertex_weights.copy(),
+            sorted_indices=True,
+        )
+        return TaskGraph(g)
+
+    def is_connected(self) -> bool:
+        return self.graph.is_connected()
+
+    def components(self) -> np.ndarray:
+        return self.graph.connected_components()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskGraph(tasks={self.num_tasks}, messages={self.num_messages}, "
+            f"volume={self.total_volume():.0f})"
+        )
+
+
+def _any_self_loop(g: CSRGraph) -> bool:
+    src = np.repeat(np.arange(g.num_vertices, dtype=np.int32), np.diff(g.indptr))
+    return bool(np.any(src == g.indices))
+
+
+def coarse_task_graph(task_graph: TaskGraph, part: np.ndarray, num_parts: int) -> TaskGraph:
+    """Quotient task graph induced by *part*.
+
+    This is the node-level communication graph the paper's mapping
+    algorithms work on after METIS reduces the number of tasks to the
+    number of allocated nodes: inter-part volumes accumulate, intra-part
+    communication disappears, and part loads are the summed task loads.
+    """
+    q = task_graph.graph.quotient(part, num_parts)
+    return TaskGraph(q)

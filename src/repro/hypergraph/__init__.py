@@ -1,0 +1,15 @@
+"""Column-net hypergraph model (PaToH-style) for 1-D row-wise SpMV.
+
+Section IV-A of the paper: "The matrices are first converted to a
+column-net hypergraph model, i.e., the rows represent the tasks with loads
+proportional to their number of non-zeros.  The columns represent sets of
+data communications where each message has a unit communication cost."
+
+This subpackage hosts the hypergraph structure, the matrix conversion, the
+connectivity (λ) machinery used for the TV/TM/MSV/MSM partition metrics and
+for deriving the directed MPI task graph of a partition.
+"""
+
+from repro.hypergraph.model import Hypergraph
+
+__all__ = ["Hypergraph"]

@@ -1,0 +1,195 @@
+"""Hypergraph structure and the column-net conversion.
+
+The hypergraph is stored as two CSR incidence structures:
+
+* ``pin_ptr/pin_ids`` -- net -> member vertices (the *pins*);
+* ``net_ptr/net_ids`` -- vertex -> incident nets (transpose, built lazily).
+
+For the column-net model of a square matrix A, net ``j`` corresponds to
+x-vector entry ``x_j``; its pins are ``{i : a_ij != 0}`` (the diagonal is
+structurally forced, so ``j`` is always a pin of net ``j`` — the *owner*
+row).  Under a partition ``part``, the part owning row ``j`` must send
+``x_j`` to every other part appearing among net ``j``'s pins, which yields
+
+* ``TV  = Σ_j (λ_j − 1)`` — total communication volume,
+* the directed task graph ``vol(p→q) = #{j : part[j] = p, q ∈ Λ(j)∖{p}}``,
+
+where ``Λ(j)`` is the set of parts net ``j``'s pins touch and
+``λ_j = |Λ(j)|`` (the *connectivity* of the net).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.matrices import SparseMatrix
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """CSR hypergraph with unit net costs and per-vertex loads.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices (matrix rows / tasks).
+    pin_ptr, pin_ids:
+        CSR arrays of the net -> pins incidence.
+    loads:
+        float64[num_vertices] vertex computational loads (row nonzeros for
+        the column-net model).
+    net_costs:
+        Optional float64[num_nets] communication cost per net; the paper
+        uses unit costs ("each message has a unit communication cost").
+    """
+
+    __slots__ = ("num_vertices", "pin_ptr", "pin_ids", "loads", "net_costs", "_vert_inc")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        pin_ptr: np.ndarray,
+        pin_ids: np.ndarray,
+        loads: Optional[np.ndarray] = None,
+        net_costs: Optional[np.ndarray] = None,
+    ) -> None:
+        self.num_vertices = int(num_vertices)
+        self.pin_ptr = np.asarray(pin_ptr, dtype=np.int64)
+        self.pin_ids = np.asarray(pin_ids, dtype=np.int32)
+        if self.pin_ptr[0] != 0 or int(self.pin_ptr[-1]) != self.pin_ids.shape[0]:
+            raise ValueError("malformed pin CSR")
+        if self.pin_ids.size and (
+            self.pin_ids.min() < 0 or self.pin_ids.max() >= self.num_vertices
+        ):
+            raise ValueError("pin ids out of range")
+        if loads is None:
+            loads = np.ones(self.num_vertices, dtype=np.float64)
+        self.loads = np.asarray(loads, dtype=np.float64)
+        if self.loads.shape[0] != self.num_vertices:
+            raise ValueError("loads length mismatch")
+        if net_costs is None:
+            net_costs = np.ones(self.num_nets, dtype=np.float64)
+        self.net_costs = np.asarray(net_costs, dtype=np.float64)
+        if self.net_costs.shape[0] != self.num_nets:
+            raise ValueError("net_costs length mismatch")
+        self._vert_inc: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nets(self) -> int:
+        return self.pin_ptr.shape[0] - 1
+
+    @property
+    def num_pins(self) -> int:
+        return self.pin_ids.shape[0]
+
+    def pins(self, net: int) -> np.ndarray:
+        """View of the pin vertex ids of *net*."""
+        return self.pin_ids[self.pin_ptr[net] : self.pin_ptr[net + 1]]
+
+    def vertex_incidence(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Transpose incidence ``(net_ptr, net_ids)``: vertex -> nets.
+
+        Built lazily with a single bincount/argsort pass and cached; FM
+        refinement iterates it heavily.
+        """
+        if self._vert_inc is None:
+            nets = np.repeat(
+                np.arange(self.num_nets, dtype=np.int32), np.diff(self.pin_ptr)
+            )
+            order = np.argsort(self.pin_ids, kind="stable")
+            net_ids = nets[order]
+            counts = np.bincount(self.pin_ids, minlength=self.num_vertices)
+            net_ptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+            np.cumsum(counts, out=net_ptr[1:])
+            self._vert_inc = (net_ptr, net_ids)
+        return self._vert_inc
+
+    def nets_of(self, vertex: int) -> np.ndarray:
+        """Nets incident to *vertex*."""
+        net_ptr, net_ids = self.vertex_incidence()
+        return net_ids[net_ptr[vertex] : net_ptr[vertex + 1]]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(cls, matrix: SparseMatrix) -> "Hypergraph":
+        """Column-net model of *matrix* (paper Sec. IV-A).
+
+        Net ``j`` = column ``j``; pins = rows with a nonzero in the column.
+        Vertex loads = row nonzero counts.  Net costs are unit.
+        """
+        csc = sp.csc_array(matrix.pattern)
+        return cls(
+            num_vertices=matrix.num_rows,
+            pin_ptr=csc.indptr.astype(np.int64),
+            pin_ids=csc.indices.astype(np.int32),
+            loads=matrix.row_nnz(),
+        )
+
+    # ------------------------------------------------------------------
+    # partition-dependent machinery
+    # ------------------------------------------------------------------
+    def net_part_pairs(self, part: np.ndarray, num_parts: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Distinct ``(net, part)`` incidences under *part*.
+
+        Returns parallel arrays ``(net_of_pair, part_of_pair)`` with one
+        entry per distinct part touching each net — the vectorized
+        materialization of the connectivity sets Λ(j).
+        """
+        part = np.asarray(part, dtype=np.int64)
+        if part.shape[0] != self.num_vertices:
+            raise ValueError("part vector length mismatch")
+        nets = np.repeat(np.arange(self.num_nets, dtype=np.int64), np.diff(self.pin_ptr))
+        key = nets * num_parts + part[self.pin_ids]
+        uniq = np.unique(key)
+        return (uniq // num_parts), (uniq % num_parts)
+
+    def connectivity(self, part: np.ndarray, num_parts: int) -> np.ndarray:
+        """λ_j for every net under *part* (int64[num_nets])."""
+        net_of_pair, _ = self.net_part_pairs(part, num_parts)
+        return np.bincount(net_of_pair, minlength=self.num_nets)
+
+    def comm_triplets(
+        self, part: np.ndarray, num_parts: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Directed communication ``(src, dst, volume)`` between parts.
+
+        For the column-net model the owner of net ``j`` is ``part[j]``
+        (the part holding row/x-entry ``j``); it sends ``c_j`` words to
+        every other part in Λ(j).  Duplicates are *not* accumulated here —
+        feed the result to :meth:`TaskGraph.from_comm_triplets`.
+        """
+        part = np.asarray(part, dtype=np.int64)
+        net_of_pair, part_of_pair = self.net_part_pairs(part, num_parts)
+        owner = part[net_of_pair]  # net j <-> row j for square matrices
+        mask = part_of_pair != owner
+        return (
+            owner[mask],
+            part_of_pair[mask],
+            self.net_costs[net_of_pair[mask]],
+        )
+
+    def total_volume(self, part: np.ndarray, num_parts: int) -> float:
+        """TV = Σ_j c_j (λ_j − 1)."""
+        lam = self.connectivity(part, num_parts)
+        return float(np.sum(self.net_costs * np.maximum(lam - 1, 0)))
+
+    def cut_nets(self, part: np.ndarray, num_parts: int) -> int:
+        """Number of nets with λ > 1 (the cut-net metric)."""
+        return int(np.count_nonzero(self.connectivity(part, num_parts) > 1))
+
+    def part_loads(self, part: np.ndarray, num_parts: int) -> np.ndarray:
+        """Summed vertex loads per part."""
+        return np.bincount(
+            np.asarray(part, dtype=np.int64), weights=self.loads, minlength=num_parts
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Hypergraph(vertices={self.num_vertices}, nets={self.num_nets}, "
+            f"pins={self.num_pins})"
+        )

@@ -1,0 +1,50 @@
+"""Topology-aware task mapping (the paper's contribution, Sec. III).
+
+Algorithms
+----------
+* :class:`repro.mapping.greedy.GreedyMapper` — Algorithm 1 (``UG``):
+  greedy graph-growing placement minimizing weighted hops, with
+  ``NBFS ∈ {0, 1}`` best-of-two seeding.
+* :class:`repro.mapping.refine_wh.WHRefiner` — Algorithm 2 (``UWH``):
+  Kernighan–Lin-style task swaps driven by per-task WH contributions.
+* :class:`repro.mapping.refine_mc.MCRefiner` — Algorithm 3 (``UMC`` /
+  ``UMMC``): congestion-driven swaps on the most congested link.
+
+Baselines
+---------
+* :class:`repro.mapping.default.DefaultMapper` — ``DEF``: Hopper's
+  SMP-style placement of consecutive MPI ranks along the allocation order.
+* :class:`repro.mapping.topomap.TopoMapper` — ``TMAP``: LibTopoMap-like
+  dual recursive bipartitioning with DEF fallback on MC.
+* :class:`repro.mapping.scotchmap.ScotchMapper` — ``SMAP``: Scotch-like
+  simultaneous dual recursive bipartitioning.
+
+The two-phase driver (:mod:`repro.mapping.pipeline`) glues partitioning,
+coarsening, mapping and refinement together and expands the node-level
+mapping back to MPI ranks.
+"""
+
+from repro.mapping.base import Mapping, expand_mapping, validate_mapping
+from repro.mapping.greedy import GreedyMapper
+from repro.mapping.refine_wh import WHRefiner
+from repro.mapping.refine_mc import MCRefiner
+from repro.mapping.default import DefaultMapper
+from repro.mapping.topomap import TopoMapper
+from repro.mapping.scotchmap import ScotchMapper
+from repro.mapping.pipeline import TwoPhaseMapper, MapperResult, MAPPER_NAMES, get_mapper
+
+__all__ = [
+    "Mapping",
+    "expand_mapping",
+    "validate_mapping",
+    "GreedyMapper",
+    "WHRefiner",
+    "MCRefiner",
+    "DefaultMapper",
+    "TopoMapper",
+    "ScotchMapper",
+    "TwoPhaseMapper",
+    "MapperResult",
+    "MAPPER_NAMES",
+    "get_mapper",
+]

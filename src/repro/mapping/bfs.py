@@ -1,0 +1,43 @@
+"""BFS-ordered node enumeration shared by the refinement algorithms.
+
+Both Algorithm 2 and Algorithm 3 search swap partners "for the first Δ
+nodes m ∈ Va visited in the order of the BFS from Γ[nghbor(t)]".  The
+helper below yields torus nodes level by level (sources first), sorting
+within a level by node id so runs are deterministic; callers apply their
+own filters (allocation membership, hosting a task, Δ budget).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["bfs_nodes"]
+
+
+def bfs_nodes(gm: CSRGraph, seeds: Sequence[int]) -> Iterator[int]:
+    """Yield node ids of ``Gm`` in BFS order from *seeds* (level 0 first).
+
+    The traversal is lazy: consumers that stop after Δ candidates never
+    pay for the full sweep — the early-exit mechanism both algorithms
+    rely on for their practical running time.
+    """
+    n = gm.num_vertices
+    seen = np.zeros(n, dtype=bool)
+    frontier = np.unique(np.asarray(list(seeds), dtype=np.int64))
+    if frontier.size == 0:
+        return
+    seen[frontier] = True
+    while frontier.size:
+        for m in frontier.tolist():
+            yield int(m)
+        nxt = []
+        for v in frontier.tolist():
+            for u in gm.neighbors(v).tolist():
+                if not seen[u]:
+                    seen[u] = True
+                    nxt.append(u)
+        frontier = np.asarray(sorted(set(nxt)), dtype=np.int64)

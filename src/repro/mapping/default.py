@@ -1,0 +1,52 @@
+"""``DEF`` — Hopper's default SMP-style MPI mapping.
+
+The paper's baseline: "Hopper places the consecutive MPI ranks within a
+single node, then it moves to the closer nodes using space filling
+curves" (Sec. IV-B).  Ranks fill the allocated nodes *in allocation
+order* (the ALPS order, which already follows an SFC through the torus),
+``procs_per_node`` consecutive ranks per node.
+
+DEF therefore ignores the task graph entirely; it is nevertheless decent
+because recursive-bisection partitioners place highly-communicating tasks
+in consecutively numbered parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.machine import Machine
+
+__all__ = ["DefaultMapper"]
+
+
+@dataclass
+class DefaultMapper:
+    """SMP-style rank placement along the allocation order."""
+
+    name: str = "DEF"
+
+    def map_ranks(self, num_ranks: int, machine: Machine) -> np.ndarray:
+        """Fine mapping: rank → node id (consecutive blocks per node).
+
+        Nodes are filled to capacity in allocation order; raises if the
+        allocation offers fewer processors than *num_ranks*.
+        """
+        caps = machine.capacities
+        if num_ranks > machine.total_procs:
+            raise ValueError(
+                f"{num_ranks} ranks exceed the allocation's "
+                f"{machine.total_procs} processors"
+            )
+        owner = np.repeat(machine.alloc_nodes, caps)
+        return owner[:num_ranks].astype(np.int64)
+
+    def rank_groups(self, num_ranks: int, machine: Machine) -> np.ndarray:
+        """Grouping vector: rank → index of its hosting node.
+
+        This is DEF's implicit "partition": the consecutive-rank blocking.
+        """
+        idx = np.repeat(np.arange(machine.num_alloc_nodes), machine.capacities)
+        return idx[:num_ranks].astype(np.int64)

@@ -1,0 +1,246 @@
+"""Algorithm 1 — Greedy Mapping (the paper's ``UG`` without refinement).
+
+The algorithm grows a mapped region greedily:
+
+1. map ``t_MSRV`` (maximum send+receive volume task) to an arbitrary node;
+2. while unmapped tasks remain, pick the unmapped task with the maximum
+   total connectivity to mapped tasks (max-heap ``conn``); during the
+   seeding phase (``NBFS`` seeds) pick instead the *farthest* unmapped
+   task found by BFS on ``Gt`` from all mapped tasks (ties favour the
+   higher-communication-volume task; disconnected components fall back to
+   their maximum-volume task);
+3. place the picked task with ``GETBESTNODE``: BFS on ``Gm`` from the
+   nodes of its mapped neighbours, stopping at the first level that
+   contains allocated nodes with free capacity and choosing among them
+   the one with the minimum WH overhead (early exit).  A task with no
+   mapped neighbour goes to one of the farthest free allocated nodes.
+
+``NBFS ∈ {0, 1}`` produces two mappings; the driver keeps the lower-WH
+one, exactly as the paper's implementation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.task_graph import TaskGraph
+from repro.mapping.base import Mapping, validate_mapping, wh_of
+from repro.topology.machine import Machine
+from repro.util.heap import AddressableMaxHeap
+
+__all__ = ["GreedyMapper"]
+
+
+@dataclass
+class GreedyMapper:
+    """Algorithm 1 with best-of-``nbfs_candidates`` seeding.
+
+    Parameters
+    ----------
+    nbfs_candidates:
+        The NBFS values to try (paper: ``(0, 1)``); the mapping with the
+        lowest WH wins.
+    """
+
+    nbfs_candidates: Sequence[int] = (0, 1)
+
+    name: str = "UG"
+
+    def map(self, task_graph: TaskGraph, machine: Machine) -> Mapping:
+        """Map *task_graph* groups onto *machine* nodes minimizing WH."""
+        best: Optional[np.ndarray] = None
+        best_wh = np.inf
+        for nbfs in self.nbfs_candidates:
+            gamma = greedy_map(task_graph, machine, nbfs=int(nbfs))
+            wh = wh_of(task_graph, machine, gamma)
+            if wh < best_wh:
+                best_wh = wh
+                best = gamma
+        assert best is not None, "nbfs_candidates must not be empty"
+        return Mapping(best, machine)
+
+
+def greedy_map(task_graph: TaskGraph, machine: Machine, *, nbfs: int = 0) -> np.ndarray:
+    """One run of Algorithm 1 for a fixed *nbfs*; returns Γ (int64)."""
+    sym = task_graph.symmetrized()
+    n_tasks = task_graph.num_tasks
+    weights = task_graph.loads
+    caps = machine.node_capacities().astype(np.float64)
+    free = caps.copy()
+    torus = machine.torus
+    gm = machine.graph()
+    alloc_mask = machine.alloc_mask()
+
+    gamma = np.full(n_tasks, -1, dtype=np.int64)
+    mapped_mask = np.zeros(n_tasks, dtype=bool)
+    total_vol = task_graph.send_volume() + task_graph.recv_volume()
+    conn = AddressableMaxHeap()
+
+    def node_has_room(node: int, task: int) -> bool:
+        return free[node] >= weights[task] - 1e-9
+
+    def place(task: int, node: int) -> None:
+        gamma[task] = node
+        mapped_mask[task] = True
+        free[node] -= weights[task]
+        if task in conn:
+            conn.remove(task)
+        for u, c in zip(
+            sym.neighbors(task).tolist(), sym.neighbor_weights(task).tolist()
+        ):
+            if not mapped_mask[u]:
+                conn.increase(u, c)
+
+    # ------------------------------------------------------------------
+    # Non-uniform capacities: groups whose weight differs from the common
+    # one are placed first "since their nodes are almost decided due to
+    # their uniqueness" (paper Sec. III-A).
+    # ------------------------------------------------------------------
+    order_first: List[int] = []
+    if not machine.uniform_capacity() or np.unique(weights).shape[0] > 1:
+        vals, counts = np.unique(weights, return_counts=True)
+        modal = vals[np.argmax(counts)]
+        rare = np.flatnonzero(weights != modal)
+        order_first = sorted(
+            rare.tolist(), key=lambda t: (-weights[t], -total_vol[t], t)
+        )
+
+    # Map t_MSRV to an arbitrary node (first allocated node able to host it).
+    t0 = int(np.argmax(total_vol))
+    if order_first:
+        t0 = order_first.pop(0)
+    m0 = _first_fitting_node(machine, free, weights[t0])
+    place(t0, m0)
+
+    for t in order_first:
+        node = _get_best_node(t, task_graph, sym, machine, gm, gamma, mapped_mask, free)
+        place(t, node)
+
+    seeds_placed = 0
+    while not mapped_mask.all():
+        if seeds_placed < nbfs:
+            tbest = _farthest_task(sym, mapped_mask, total_vol)
+            seeds_placed += 1
+        else:
+            tbest = -1
+            while conn:
+                cand, _ = conn.pop()
+                if not mapped_mask[cand]:
+                    tbest = cand
+                    break
+            if tbest < 0:
+                # Disconnected component: maximum-volume unmapped task.
+                rest = np.flatnonzero(~mapped_mask)
+                tbest = int(rest[np.argmax(total_vol[rest])])
+        node = _get_best_node(
+            tbest, task_graph, sym, machine, gm, gamma, mapped_mask, free
+        )
+        place(tbest, node)
+
+    validate_mapping(gamma, machine, weights)
+    return gamma
+
+
+def _first_fitting_node(machine: Machine, free: np.ndarray, weight: float) -> int:
+    """First allocated node (allocation order) with room for *weight*."""
+    for node in machine.alloc_nodes.tolist():
+        if free[node] >= weight - 1e-9:
+            return int(node)
+    raise ValueError("no allocated node can host the first task group")
+
+
+def _farthest_task(sym: CSRGraph, mapped_mask: np.ndarray, total_vol: np.ndarray) -> int:
+    """Farthest unmapped task by BFS on Gt from all mapped tasks.
+
+    All mapped tasks sit at BFS level 0; ties break toward the larger
+    communication volume, then the smaller id.  Unreached tasks (other
+    components) are preferred last via their maximum-volume member, per
+    the paper's disconnected-graph rule.
+    """
+    sources = np.flatnonzero(mapped_mask)
+    level = sym.bfs_levels(sources)
+    unmapped = ~mapped_mask
+    reached = (level >= 0) & unmapped
+    if np.any(reached):
+        lv = np.where(reached, level, -1)
+        far = lv.max()
+        cands = np.flatnonzero(lv == far)
+        return int(cands[np.argmax(total_vol[cands])])
+    rest = np.flatnonzero(unmapped)
+    return int(rest[np.argmax(total_vol[rest])])
+
+
+def _get_best_node(
+    task: int,
+    task_graph: TaskGraph,
+    sym: CSRGraph,
+    machine: Machine,
+    gm: CSRGraph,
+    gamma: np.ndarray,
+    mapped_mask: np.ndarray,
+    free: np.ndarray,
+) -> int:
+    """GETBESTNODE of Algorithm 1 (with the early-exit BFS).
+
+    * If *task* has mapped neighbours: BFS on ``Gm`` from their nodes;
+      stop at the first BFS level holding allocated nodes with enough free
+      capacity and return the one with the minimum WH increase.
+    * Otherwise: BFS from all non-empty nodes and return one of the
+      *farthest* allocated nodes with room (spreading unrelated tasks).
+    """
+    weight = task_graph.loads[task]
+    nbrs = sym.neighbors(task)
+    nbr_w = sym.neighbor_weights(task)
+    mapped_nbrs = nbrs[mapped_mask[nbrs]]
+    torus = machine.torus
+
+    if mapped_nbrs.size == 0:
+        occupied = np.unique(gamma[gamma >= 0])
+        level = gm.bfs_levels(occupied.tolist())
+        ok = (
+            machine.alloc_mask()
+            & (free >= weight - 1e-9)
+            & (level >= 0)
+        )
+        cand = np.flatnonzero(ok)
+        if cand.size == 0:
+            # Allocation unreachable through the torus graph cannot happen
+            # (the torus is connected); room must exist by construction.
+            raise ValueError("no free allocated node found")
+        far = level[cand].max()
+        at_far = cand[level[cand] == far]
+        return int(at_far.min())
+
+    # BFS from the neighbours' nodes, level by level, with early exit.
+    seeds = np.unique(gamma[mapped_nbrs])
+    mapped_nbr_nodes = gamma[mapped_nbrs]
+    costs = nbr_w[mapped_mask[nbrs]]
+    alloc_ok = machine.alloc_mask() & (free >= weight - 1e-9)
+
+    n_nodes = gm.num_vertices
+    seen = np.zeros(n_nodes, dtype=bool)
+    frontier = seeds.astype(np.int64)
+    seen[frontier] = True
+    while frontier.size:
+        cands = frontier[alloc_ok[frontier]]
+        if cands.size:
+            # Minimum WH overhead among this level's candidates.
+            hops = torus.hop_distance(
+                np.repeat(cands, mapped_nbr_nodes.shape[0]),
+                np.tile(mapped_nbr_nodes, cands.shape[0]),
+            ).reshape(cands.shape[0], -1)
+            overhead = hops @ costs
+            best = np.flatnonzero(overhead == overhead.min())
+            return int(cands[best].min())
+        nxt = []
+        for v in frontier.tolist():
+            for u in gm.neighbors(v).tolist():
+                if not seen[u]:
+                    seen[u] = True
+                    nxt.append(u)
+        frontier = np.unique(np.asarray(nxt, dtype=np.int64))
+    raise ValueError("BFS exhausted the machine without finding a free node")

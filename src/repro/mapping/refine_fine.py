@@ -1,0 +1,162 @@
+"""Fine-level WH refinement (the paper's Sec. III-B discussion).
+
+Algorithm 2 normally runs on the coarse (node-level) graph.  The paper
+notes: "With slight modifications, it can perform the refinement on the
+finer level task vertices or in a multilevel fashion from coarser to
+finer levels" — but warns that fine-level WH-improving swaps "can also
+increase the total internode communication volume".  The authors chose
+coarse-only; we implement the fine variant as an extension so the trade
+can be measured (see ``benchmarks/test_ablation.py``).
+
+The fine refiner swaps individual *ranks* between nodes (unit weights, so
+capacity stays exact) using the same machinery: a whHeap of per-rank WH
+contributions, BFS-ordered candidate nodes from the ranks' neighbour
+nodes, and a Δ early exit.  Because every rank on a candidate node is a
+potential partner, each BFS-visited node contributes up to
+``procs_per_node`` candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.task_graph import TaskGraph
+from repro.mapping.bfs import bfs_nodes
+from repro.topology.machine import Machine
+from repro.util.heap import AddressableMaxHeap
+
+__all__ = ["FineWHRefiner", "fine_wh_of", "internode_volume"]
+
+
+def fine_wh_of(task_graph: TaskGraph, machine: Machine, fine_gamma: np.ndarray) -> float:
+    """WH of a rank-level mapping (counts each directed edge once)."""
+    src, dst, vol = task_graph.graph.edge_list()
+    g = np.asarray(fine_gamma, dtype=np.int64)
+    hops = machine.torus.hop_distance(g[src], g[dst])
+    return float((hops * vol).sum())
+
+
+def internode_volume(task_graph: TaskGraph, fine_gamma: np.ndarray) -> float:
+    """Total volume crossing node boundaries under *fine_gamma* (ICV)."""
+    src, dst, vol = task_graph.graph.edge_list()
+    g = np.asarray(fine_gamma, dtype=np.int64)
+    return float(vol[g[src] != g[dst]].sum())
+
+
+@dataclass
+class FineWHRefiner:
+    """Rank-granularity WH swap refinement.
+
+    Parameters mirror :class:`repro.mapping.refine_wh.WHRefiner`; *delta*
+    counts swap *evaluations* per popped rank.
+    """
+
+    delta: int = 8
+    min_gain: float = 0.005
+    max_passes: int = 20
+
+    def refine(
+        self,
+        task_graph: TaskGraph,
+        machine: Machine,
+        fine_gamma: np.ndarray,
+    ) -> np.ndarray:
+        """Return an improved copy of the rank→node mapping."""
+        gamma = np.asarray(fine_gamma, dtype=np.int64).copy()
+        sym = task_graph.symmetrized()
+        torus = machine.torus
+        gm = machine.graph()
+        alloc_mask = machine.alloc_mask()
+        n = task_graph.num_tasks
+
+        # node -> list of hosted ranks.
+        hosted: Dict[int, List[int]] = {}
+        for t in range(n):
+            hosted.setdefault(int(gamma[t]), []).append(t)
+
+        wh = fine_wh_of(task_graph, machine, gamma)
+        if wh <= 0:
+            return gamma
+
+        for _ in range(self.max_passes):
+            pass_start = wh
+            heap = AddressableMaxHeap()
+            for t in range(n):
+                heap.insert(t, _rank_whops(t, sym, torus, gamma))
+            while heap:
+                twh, contrib = heap.pop()
+                if contrib <= 0:
+                    continue  # nothing to gain from a zero-WH rank
+                gain = self._try_swap(
+                    twh, sym, torus, gm, alloc_mask, gamma, hosted, heap
+                )
+                wh -= gain
+            if pass_start <= 0 or (pass_start - wh) / pass_start <= self.min_gain:
+                break
+        return gamma
+
+    # ------------------------------------------------------------------
+    def _try_swap(self, twh, sym, torus, gm, alloc_mask, gamma, hosted, heap) -> float:
+        nbrs = sym.neighbors(twh)
+        if nbrs.size == 0:
+            return 0.0
+        na = int(gamma[twh])
+        seeds = np.unique(gamma[nbrs])
+        checked = 0
+        for node in bfs_nodes(gm, seeds.tolist()):
+            if checked >= self.delta:
+                break
+            if not alloc_mask[node] or node == na:
+                continue
+            for t in list(hosted.get(node, ())):
+                if checked >= self.delta:
+                    break
+                checked += 1
+                gain = _fine_swap_gain(twh, t, sym, torus, gamma)
+                if gain > 1e-12:
+                    nb = int(gamma[t])
+                    gamma[twh] = nb
+                    gamma[t] = na
+                    hosted[na].remove(twh)
+                    hosted[nb].remove(t)
+                    hosted[na].append(t)
+                    hosted[nb].append(twh)
+                    for u in set(sym.neighbors(twh).tolist()) | set(
+                        sym.neighbors(t).tolist()
+                    ) | {twh, t}:
+                        if u in heap:
+                            heap.update(u, _rank_whops(u, sym, torus, gamma))
+                    return gain
+        return 0.0
+
+
+def _rank_whops(t: int, sym, torus, gamma: np.ndarray) -> float:
+    nbrs = sym.neighbors(t)
+    if nbrs.size == 0:
+        return 0.0
+    hops = torus.hop_distance(np.full(nbrs.shape[0], gamma[t]), gamma[nbrs])
+    return float((hops * sym.neighbor_weights(t)).sum())
+
+
+def _fine_swap_gain(t1: int, t2: int, sym, torus, gamma: np.ndarray) -> float:
+    """Exact symmetric-WH change of swapping the two ranks' nodes."""
+    n1, n2 = int(gamma[t1]), int(gamma[t2])
+    if n1 == n2:
+        return 0.0
+
+    def cost(task: int, node: int, exclude: int) -> float:
+        nbrs = sym.neighbors(task)
+        w = sym.neighbor_weights(task)
+        keep = nbrs != exclude
+        kept = nbrs[keep]
+        if kept.size == 0:
+            return 0.0
+        hops = torus.hop_distance(np.full(kept.shape[0], node), gamma[kept])
+        return float((hops * w[keep]).sum())
+
+    before = cost(t1, n1, t2) + cost(t2, n2, t1)
+    after = cost(t1, n2, t2) + cost(t2, n1, t1)
+    return before - after

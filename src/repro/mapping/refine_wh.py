@@ -1,0 +1,189 @@
+"""Algorithm 2 — WH Refinement (``UWH`` = UG + this pass).
+
+Kernighan–Lin-type *swap* refinement of a one-to-one group↔node mapping:
+
+* ``whHeap`` ranks tasks by the WH they individually incur
+  (``TASKWHOPS``); the top task ``t_wh`` is the likeliest to profit from
+  moving closer to its neighbours;
+* candidate partners are discovered by BFS on ``Gm`` started from
+  ``Γ[nghbor(t_wh)]`` (the nodes of ``t_wh``'s neighbours), visiting
+  allocated nodes in BFS order — the order makes near-neighbour swaps be
+  tried first;
+* at most ``Δ`` candidates are evaluated per task (early exit); the first
+  *improving* swap is committed and the pass moves on;
+* a pass ends when ``whHeap`` empties; passes repeat while the previous
+  pass improved WH by more than ``min_gain`` (paper: 0.5%).
+
+Swaps are restricted to equal-weight task groups (with uniform
+processors-per-node every group weighs the same, so this is vacuous in
+the paper's setting but keeps heterogeneous configurations feasible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.task_graph import TaskGraph
+from repro.mapping.base import Mapping, validate_mapping, wh_of
+from repro.topology.machine import Machine
+from repro.util.heap import AddressableMaxHeap
+
+__all__ = ["WHRefiner"]
+
+
+@dataclass
+class WHRefiner:
+    """Algorithm 2 with the paper's Δ=8 early exit and 0.5% pass gate."""
+
+    delta: int = 8
+    min_gain: float = 0.005
+    max_passes: int = 50
+
+    name: str = "UWH"
+
+    def refine(self, task_graph: TaskGraph, mapping: Mapping) -> Mapping:
+        """Refine *mapping* in a copy; the input is left untouched."""
+        gamma = mapping.gamma.copy()
+        machine = mapping.machine
+        sym = task_graph.symmetrized()
+        weights = task_graph.loads
+        torus = machine.torus
+        gm = machine.graph()
+
+        # task currently hosted by each node (one-to-one at group level).
+        host = np.full(torus.num_nodes, -1, dtype=np.int64)
+        host[gamma] = np.arange(task_graph.num_tasks)
+
+        wh = wh_of(task_graph, machine, gamma)
+        if wh <= 0:
+            return Mapping(gamma, machine)
+
+        for _ in range(self.max_passes):
+            pass_start_wh = wh
+            heap = AddressableMaxHeap()
+            for t in range(task_graph.num_tasks):
+                heap.insert(t, _task_whops(t, sym, torus, gamma))
+            while heap:
+                twh, _ = heap.pop()
+                gain = self._try_swap(
+                    twh, sym, weights, torus, gm, machine, gamma, host, heap
+                )
+                wh -= gain
+            if pass_start_wh <= 0:
+                break
+            improvement = (pass_start_wh - wh) / pass_start_wh
+            if improvement <= self.min_gain:
+                break
+        validate_mapping(gamma, machine, weights)
+        return Mapping(gamma, machine)
+
+    # ------------------------------------------------------------------
+    def _try_swap(
+        self,
+        twh: int,
+        sym,
+        weights: np.ndarray,
+        torus,
+        gm,
+        machine: Machine,
+        gamma: np.ndarray,
+        host: np.ndarray,
+        heap: AddressableMaxHeap,
+    ) -> float:
+        """Search ≤Δ BFS-ordered candidates; commit the first improving swap.
+
+        Returns the WH gain achieved (0.0 when no swap was committed).
+        """
+        nbrs = sym.neighbors(twh)
+        if nbrs.size == 0:
+            return 0.0
+        seeds = np.unique(gamma[nbrs])
+        alloc_mask = machine.alloc_mask()
+        na = int(gamma[twh])
+
+        checked = 0
+        n_nodes = gm.num_vertices
+        seen = np.zeros(n_nodes, dtype=bool)
+        frontier = seeds.astype(np.int64)
+        seen[frontier] = True
+        while frontier.size and checked < self.delta:
+            for m in np.sort(frontier).tolist():
+                if checked >= self.delta:
+                    break
+                if not alloc_mask[m] or m == na:
+                    continue
+                t = int(host[m])
+                if t < 0 or t == twh:
+                    continue
+                if weights[t] != weights[twh]:
+                    continue  # swap must preserve capacities
+                gain = _swap_gain(twh, t, sym, torus, gamma)
+                checked += 1
+                if gain > 1e-12:
+                    nb = int(gamma[t])
+                    gamma[twh] = nb
+                    gamma[t] = na
+                    host[na] = t
+                    host[nb] = twh
+                    _update_heap_around(heap, (twh, t), sym, torus, gamma)
+                    return gain
+            nxt = []
+            for v in frontier.tolist():
+                for u in gm.neighbors(v).tolist():
+                    if not seen[u]:
+                        seen[u] = True
+                        nxt.append(u)
+            frontier = np.asarray(sorted(set(nxt)), dtype=np.int64)
+        return 0.0
+
+
+def _task_whops(t: int, sym, torus, gamma: np.ndarray) -> float:
+    """TASKWHOPS: the WH incurred by task *t* under Γ."""
+    nbrs = sym.neighbors(t)
+    if nbrs.size == 0:
+        return 0.0
+    hops = torus.hop_distance(np.full(nbrs.shape[0], gamma[t]), gamma[nbrs])
+    return float((hops * sym.neighbor_weights(t)).sum())
+
+
+def _swap_gain(t1: int, t2: int, sym, torus, gamma: np.ndarray) -> float:
+    """Exact WH change (positive = improvement) of swapping Γ[t1] ↔ Γ[t2].
+
+    The direct t1–t2 edge keeps its dilation under a swap, so it is
+    excluded from both sides of the difference.
+    """
+    n1, n2 = int(gamma[t1]), int(gamma[t2])
+
+    def cost(task: int, node: int, exclude: int) -> float:
+        nbrs = sym.neighbors(task)
+        w = sym.neighbor_weights(task)
+        keep = nbrs != exclude
+        nbrs = nbrs[keep]
+        if nbrs.size == 0:
+            return 0.0
+        hops = torus.hop_distance(np.full(nbrs.shape[0], node), gamma[nbrs])
+        return float((hops * w[keep]).sum())
+
+    before = cost(t1, n1, t2) + cost(t2, n2, t1)
+    after = cost(t1, n2, t2) + cost(t2, n1, t1)
+    return before - after
+
+
+def _update_heap_around(
+    heap: AddressableMaxHeap, swapped, sym, torus, gamma: np.ndarray
+) -> None:
+    """Refresh whHeap priorities of the swapped tasks' neighbourhoods.
+
+    Only entries still *in* the heap are updated (popped tasks stay
+    processed for this pass, as in the paper's Algorithm 2 lines 5–6).
+    """
+    touched = set()
+    for t in swapped:
+        touched.update(sym.neighbors(t).tolist())
+        touched.add(t)
+    for u in touched:
+        if u in heap:
+            heap.update(u, _task_whops(u, sym, torus, gamma))

@@ -1,0 +1,26 @@
+"""Metric computations (paper Secs. II, IV-A and IV-E).
+
+* :mod:`repro.metrics.mapping` -- topology-aware mapping metrics: total
+  hops TH, weighted hops WH, maximum message congestion MMC, maximum
+  (volume) congestion MC, and the averaged AMC / AC variants the paper
+  introduces.
+* :mod:`repro.metrics.partition` -- partition quality metrics: total
+  volume TV, total messages TM, maximum send volume MSV, maximum sent
+  messages MSM (Fig. 1).
+* :mod:`repro.metrics.nodes` -- node-level metrics used by the regression
+  analysis: ICV, ICM, MNRV, MNRM.
+"""
+
+from repro.metrics.mapping import MappingMetrics, evaluate_mapping, link_congestion
+from repro.metrics.partition import PartitionMetrics, evaluate_partition
+from repro.metrics.nodes import NodeMetrics, evaluate_node_metrics
+
+__all__ = [
+    "MappingMetrics",
+    "evaluate_mapping",
+    "link_congestion",
+    "PartitionMetrics",
+    "evaluate_partition",
+    "NodeMetrics",
+    "evaluate_node_metrics",
+]

@@ -1,0 +1,43 @@
+"""Multilevel graph/hypergraph partitioning substrate.
+
+The paper's two-phase pipeline consumes partitions twice:
+
+1. the *matrix* is partitioned 1-D row-wise into ``#procs`` parts by one
+   of seven tools (SCOTCH, KaFFPa, METIS, PaToH, UMPA-MV/MM/TM) —
+   reproduced here as personalities of one multilevel engine
+   (:mod:`repro.partition.toolbox`);
+2. the resulting *task graph* is partitioned into ``|Va|`` node-sized
+   groups (paper: METIS + one Fiduccia–Mattheyses balance iteration)
+   inside the mapping pipeline (:func:`repro.partition.driver.partition_graph`
+   + :func:`repro.partition.fm.balance_fixup`).
+
+Engine structure (classic multilevel V-cycle):
+
+* :mod:`repro.partition.coarsen` — vectorized heavy-edge matching and
+  contraction;
+* :mod:`repro.partition.initial` — greedy-graph-growing bisection seeds;
+* :mod:`repro.partition.fm` — FM bisection refinement, k-way balance
+  fix-up;
+* :mod:`repro.partition.driver` — multilevel bisection and recursive
+  k-way driver with target part weights;
+* :mod:`repro.partition.kway_refine` — hypergraph-aware k-way move
+  refinement for the TV/MSV/MSM/TM objectives (PaToH/UMPA personalities);
+* :mod:`repro.partition.toolbox` — the seven named partitioners.
+"""
+
+from repro.partition.driver import partition_graph, PartitionResult
+from repro.partition.fm import balance_fixup
+from repro.partition.toolbox import (
+    Partitioner,
+    get_partitioner,
+    PARTITIONER_NAMES,
+)
+
+__all__ = [
+    "partition_graph",
+    "PartitionResult",
+    "balance_fixup",
+    "Partitioner",
+    "get_partitioner",
+    "PARTITIONER_NAMES",
+]

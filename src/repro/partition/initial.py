@@ -1,0 +1,124 @@
+"""Initial bisection on the coarsest graph.
+
+Greedy graph growing (GGG): BFS-grow a region from a seed vertex, always
+absorbing the unassigned vertex with the strongest connection to the grown
+region, until the region reaches its target weight.  Several seeds are
+tried and the best cut (after balance) wins — the same scheme METIS and
+PaToH use for their initial partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.util.heap import AddressableMaxHeap
+from repro.util.rng import seeded_rng
+
+__all__ = ["greedy_grow_bisection", "best_bisection"]
+
+
+def greedy_grow_bisection(
+    graph: CSRGraph,
+    target0: float,
+    seed_vertex: int,
+) -> np.ndarray:
+    """Grow part 0 from *seed_vertex* to weight ~*target0*; rest is part 1.
+
+    Ties in connectivity break toward heavier vertices (paper's greedy
+    mapping breaks ties "in the favor of the task with a higher
+    communication volume"; we follow the same spirit for partitioning).
+    Disconnected graphs are handled by re-seeding from the heaviest
+    unassigned vertex.
+    """
+    n = graph.num_vertices
+    side = np.ones(n, dtype=np.int64)
+    vw = graph.vertex_weights
+    grown = 0.0
+    heap = AddressableMaxHeap()
+    in_part0 = np.zeros(n, dtype=bool)
+
+    def absorb(v: int) -> None:
+        nonlocal grown
+        in_part0[v] = True
+        side[v] = 0
+        grown += float(vw[v])
+        nbrs = graph.neighbors(v)
+        wts = graph.neighbor_weights(v)
+        for u, w in zip(nbrs.tolist(), wts.tolist()):
+            if not in_part0[u]:
+                heap.increase(u, w)
+
+    absorb(seed_vertex)
+    if seed_vertex in heap:
+        heap.remove(seed_vertex)
+    while grown < target0:
+        while heap:
+            v, _ = heap.pop()
+            if not in_part0[v]:
+                break
+        else:
+            # Disconnected: restart from the heaviest unassigned vertex.
+            rest = np.flatnonzero(~in_part0)
+            if rest.size == 0:
+                break
+            v = int(rest[np.argmax(vw[rest])])
+        if grown + vw[v] > target0 and grown > 0.5 * target0:
+            # Absorbing v overshoots badly; stop if reasonably full.
+            if grown + vw[v] - target0 > target0 - grown:
+                break
+        absorb(v)
+    return side
+
+
+def _cut(graph: CSRGraph, side: np.ndarray) -> float:
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), np.diff(graph.indptr))
+    return float(graph.weights[side[src] != side[graph.indices]].sum())
+
+
+def best_bisection(
+    graph: CSRGraph,
+    target0: float,
+    *,
+    attempts: int = 4,
+    seed: int = 0,
+) -> np.ndarray:
+    """Try *attempts* GGG seeds; return the bisection with the best cut.
+
+    Candidate seeds are random plus one pseudo-peripheral vertex (end of a
+    BFS from the heaviest vertex), which tends to give clean sweeps on
+    mesh-like graphs.  Ranking penalizes imbalance quadratically so a
+    slightly worse cut with a far better balance wins.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if n == 1:
+        return np.zeros(1, dtype=np.int64)
+    rng = seeded_rng(seed)
+    total = float(graph.vertex_weights.sum())
+    seeds = set()
+    heaviest = int(np.argmax(graph.vertex_weights))
+    levels = graph.symmetrized().bfs_levels([heaviest])
+    if np.any(levels >= 0):
+        reached = np.flatnonzero(levels >= 0)
+        seeds.add(int(reached[np.argmax(levels[reached])]))
+    # A graph with n vertices has at most n distinct seeds to offer.
+    while len(seeds) < min(attempts, n):
+        seeds.add(int(rng.integers(0, n)))
+
+    best: Optional[np.ndarray] = None
+    best_score = np.inf
+    for s in sorted(seeds):
+        side = greedy_grow_bisection(graph, target0, s)
+        cut = _cut(graph, side)
+        w0 = float(graph.vertex_weights[side == 0].sum())
+        imb = abs(w0 - target0) / max(total, 1e-12)
+        score = cut * (1.0 + 4.0 * imb * imb) + imb * total * 1e-6
+        if score < best_score:
+            best_score = score
+            best = side
+    assert best is not None
+    return best

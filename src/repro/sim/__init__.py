@@ -1,0 +1,23 @@
+"""Execution-time simulation substrate.
+
+The paper measures wall-clock times of two applications on Hopper:
+
+* a **communication-only** application replaying an SpMV communication
+  pattern with scaled message sizes (Sec. IV-C);
+* the **Trilinos/Tpetra SpMV** kernel over 500/1000 iterations
+  (Sec. IV-D).
+
+We cannot run on Hopper, so a flow-level network simulator stands in: all
+messages of a phase become flows over their static routes; link bandwidth
+is shared (approximately max-min) among concurrent flows; per-message
+latency follows the hop count; per-rank send/receive overheads model the
+MPI stack.  Contention on hot links throttles flows (the MC effect) and
+long routes cross more contention (the WH/TH effect) — the same
+dependencies the paper's regression analysis finds on the real machine.
+"""
+
+from repro.sim.network import FlowSimulator, FlowResult
+from repro.sim.commapp import CommOnlyApp
+from repro.sim.spmv import SpMVSimulator
+
+__all__ = ["FlowSimulator", "FlowResult", "CommOnlyApp", "SpMVSimulator"]

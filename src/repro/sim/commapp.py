@@ -1,0 +1,98 @@
+"""Communication-only application (paper Sec. IV-C).
+
+"In this SpMV-like executions, no computation is performed, and all the
+transfers are initialized at the same time where each processor follows
+the pattern in the corresponding communication graph.  Therefore the
+total execution time of this application is equal to its communication
+time.  To make the improvements more visible and reduce the noise, we
+scale the message sizes" (factors 4K for cage15, 256K for rgg).
+
+The app takes a fine task graph (rank granularity), a fine mapping, and a
+message-size scale; every directed edge becomes one message of
+``volume · scale`` bytes.  Per-rank MPI overhead serializes message
+injection, so ranks with many messages pay for it — that is what makes
+the message-count metrics matter when sizes are *not* scaled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.task_graph import TaskGraph
+from repro.sim.network import FlowSimulator
+from repro.topology.machine import Machine
+from repro.topology.torus import HOP_LATENCY_S
+from repro.util.rng import seeded_rng
+
+__all__ = ["CommOnlyApp"]
+
+#: Per-message CPU/MPI injection overhead (seconds) — matching the µs-scale
+#: software overheads of Hopper's MPI stack.
+MSG_OVERHEAD_S = 0.9e-6
+
+
+@dataclass
+class CommOnlyApp:
+    """Synthetic application that only communicates.
+
+    Parameters
+    ----------
+    scale:
+        Bytes per unit of communication volume (paper: 4K / 256K).
+    noise:
+        Multiplicative log-normal noise std-dev applied per repetition
+        (models "network traffic and overhead from competing jobs").
+    """
+
+    scale: float = 4096.0
+    noise: float = 0.02
+
+    def run(
+        self,
+        task_graph: TaskGraph,
+        machine: Machine,
+        fine_gamma: np.ndarray,
+        *,
+        repetitions: int = 5,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """Simulate *repetitions* executions; returns seconds per run."""
+        base = self.execution_time(task_graph, machine, fine_gamma)
+        rng = seeded_rng(seed)
+        jitter = np.exp(rng.normal(0.0, self.noise, size=repetitions))
+        return base * jitter
+
+    def execution_time(
+        self,
+        task_graph: TaskGraph,
+        machine: Machine,
+        fine_gamma: np.ndarray,
+    ) -> float:
+        """Deterministic single-execution time (seconds)."""
+        gamma = np.asarray(fine_gamma, dtype=np.int64)
+        src_t, dst_t, vol = task_graph.graph.edge_list()
+        src_n = gamma[src_t]
+        dst_n = gamma[dst_t]
+        sizes = vol * self.scale
+
+        sim = FlowSimulator(machine.torus)
+        result = sim.simulate(src_n, dst_n, sizes)
+
+        # Per-rank injection: every send/receive pays the MPI software
+        # overhead plus the hop-dependent wire latency; the app ends when
+        # the slowest rank has finished both its injections and its last
+        # (contention-limited) transfer.
+        n = task_graph.num_tasks
+        hops = machine.torus.hop_distance(src_n, dst_n).astype(np.float64)
+        per_msg = MSG_OVERHEAD_S + HOP_LATENCY_S * hops
+        overhead = np.zeros(n, dtype=np.float64)
+        np.add.at(overhead, src_t, per_msg)
+        np.add.at(overhead, dst_t, per_msg)
+
+        last_finish = np.zeros(n, dtype=np.float64)
+        np.maximum.at(last_finish, src_t, result.finish_times)
+        np.maximum.at(last_finish, dst_t, result.finish_times)
+        return float((last_finish + overhead).max())

@@ -1,0 +1,25 @@
+"""Machine topology substrate: 3-D torus, static routing, allocations.
+
+The paper targets NERSC's Hopper (Cray XE6): a 3-D torus of Gemini routers
+with wrap-around links, static shortest-path routing, per-dimension link
+bandwidths between 4.68 and 9.38 GB/s and node-to-node latencies between
+1.27 and 3.88 µs.  The Cray scheduler hands each job a *sparse*,
+non-contiguous set of nodes ordered along a space-filling curve.
+
+All of that is rebuilt here:
+
+* :class:`repro.topology.torus.Torus3D` -- the torus geometry, O(1) hop
+  distances and the directed-link namespace;
+* :mod:`repro.topology.routing` -- dimension-ordered static routing with
+  deterministic tie-breaking (bulk, vectorized route enumeration);
+* :class:`repro.topology.machine.Machine` -- topology graph ``Gm`` plus an
+  allocation ``Va`` with per-node processor capacities;
+* :class:`repro.topology.allocation.SparseAllocator` -- ALPS-like
+  fragmented allocation generator.
+"""
+
+from repro.topology.torus import Torus3D
+from repro.topology.machine import Machine
+from repro.topology.allocation import SparseAllocator, AllocationSpec, torus_for_job
+
+__all__ = ["Torus3D", "Machine", "SparseAllocator", "AllocationSpec", "torus_for_job"]

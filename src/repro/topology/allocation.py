@@ -1,0 +1,173 @@
+"""Cray-ALPS-like sparse allocation generator.
+
+On Hopper "the scheduler allocates a non-contiguous set of nodes for each
+job.  Although it attempts to assign nearby nodes, no locality guarantee is
+provided" (paper Sec. II-B, citing Albing et al., CUG 2011).  ALPS orders
+nodes along a linear, locality-preserving curve and hands each job the
+free nodes it encounters while walking that order — fragmentation comes
+from the other jobs already resident in the machine.
+
+:class:`SparseAllocator` reproduces that process: it fills a fraction of
+the torus with synthetic background jobs (sizes drawn from a lognormal,
+placed along the space-filling order), then walks the order from a random
+offset collecting free nodes for the requested job.  ``fragmentation = 0``
+yields a contiguous SFC segment; larger values scatter the job across the
+machine the way a busy production system does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.topology.machine import Machine
+from repro.topology.torus import Torus3D
+from repro.util.rng import seeded_rng
+from repro.util.sfc import sfc_node_order
+
+__all__ = ["SparseAllocator", "AllocationSpec"]
+
+
+@dataclass(frozen=True)
+class AllocationSpec:
+    """Everything needed to reproduce one allocation.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of nodes the job requests.
+    procs_per_node:
+        Processors used per node (the paper uses 16 of Hopper's 24 to keep
+        allocations uniform).
+    fragmentation:
+        Fraction of the machine occupied by background jobs (0 — 0.9).
+    seed:
+        RNG seed; two different seeds model the paper's "two different
+        allocations".
+    """
+
+    num_nodes: int
+    procs_per_node: int = 16
+    fragmentation: float = 0.35
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if self.procs_per_node <= 0:
+            raise ValueError("procs_per_node must be positive")
+        if not (0.0 <= self.fragmentation <= 0.9):
+            raise ValueError("fragmentation must be in [0, 0.9]")
+
+
+class SparseAllocator:
+    """Generates :class:`Machine` allocations on a torus."""
+
+    def __init__(self, torus: Torus3D) -> None:
+        self.torus = torus
+        self._order = sfc_node_order(torus.dims)
+
+    def allocate(self, spec: AllocationSpec) -> Machine:
+        """Produce a sparse allocation according to *spec*.
+
+        Raises ValueError if the torus cannot host the job alongside the
+        requested background occupancy.
+        """
+        n = self.torus.num_nodes
+        want = spec.num_nodes
+        if want > n:
+            raise ValueError(
+                f"job wants {want} nodes but the torus has only {n}"
+            )
+        rng = seeded_rng(spec.seed)
+        busy = np.zeros(n, dtype=bool)
+        target_busy = int(spec.fragmentation * n)
+        if target_busy > n - want:
+            target_busy = n - want
+
+        order = self._order
+        pos_of = np.empty(n, dtype=np.int64)
+        pos_of[order] = np.arange(n)
+
+        # Background jobs: lognormal sizes placed at random SFC offsets,
+        # skipping already-busy slots (like real schedulers backfilling).
+        placed = 0
+        guard = 0
+        while placed < target_busy and guard < 10_000:
+            guard += 1
+            size = max(1, int(rng.lognormal(mean=2.2, sigma=1.0)))
+            size = min(size, target_busy - placed)
+            start = int(rng.integers(0, n))
+            pos = start
+            taken = 0
+            scanned = 0
+            while taken < size and scanned < n:
+                node = order[pos % n]
+                if not busy[node]:
+                    busy[node] = True
+                    taken += 1
+                    placed += 1
+                pos += 1
+                scanned += 1
+
+        # Walk the SFC from a random offset, collecting free nodes.
+        start = int(rng.integers(0, n))
+        alloc = []
+        pos = start
+        scanned = 0
+        while len(alloc) < want and scanned < n:
+            node = order[pos % n]
+            if not busy[node]:
+                alloc.append(int(node))
+            pos += 1
+            scanned += 1
+        if len(alloc) < want:
+            raise ValueError(
+                f"could not find {want} free nodes "
+                f"(background occupancy too high)"
+            )
+        return Machine(self.torus, alloc, spec.procs_per_node)
+
+    def allocate_nodes(
+        self,
+        num_nodes: int,
+        procs_per_node: int = 16,
+        fragmentation: float = 0.35,
+        seed: int = 0,
+    ) -> Machine:
+        """Convenience wrapper building the spec inline."""
+        return self.allocate(
+            AllocationSpec(
+                num_nodes=num_nodes,
+                procs_per_node=procs_per_node,
+                fragmentation=fragmentation,
+                seed=seed,
+            )
+        )
+
+
+def torus_for_job(
+    num_nodes: int,
+    *,
+    headroom: float = 2.0,
+    aspect: Optional[tuple] = None,
+) -> Torus3D:
+    """Pick torus dimensions able to host *num_nodes* with *headroom*.
+
+    Chooses near-cubic dimensions (x and y equal powers of two when
+    possible so the Hilbert ordering applies, z free) with total node
+    count >= headroom * num_nodes, loosely mirroring how jobs occupy a
+    fraction of Hopper's 6384-node torus.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if aspect is not None:
+        return Torus3D(aspect)
+    total = max(8, int(np.ceil(num_nodes * headroom)))
+    # Near-cubic: x = y = 2^k close to total^(1/3), z fills the remainder.
+    k = max(1, int(round(np.log2(max(2.0, total ** (1.0 / 3.0))))))
+    side = 2**k
+    nz = max(2, int(np.ceil(total / (side * side))))
+    return Torus3D((side, side, nz))

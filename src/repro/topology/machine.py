@@ -1,0 +1,123 @@
+"""Machine abstraction: topology graph plus a processor allocation.
+
+``Machine`` bundles what the paper calls ``Gm`` together with the job's
+allocated node set ``Va ⊆ Vm`` and per-node computation capacities
+``w(m)`` (the number of allocated processors on each node; zero for nodes
+outside the allocation).  Mapping algorithms receive a ``Machine`` and
+never look at raw torus internals beyond distances, routes and BFS.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.topology.torus import Torus3D
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A torus with an allocation.
+
+    Parameters
+    ----------
+    torus:
+        The underlying :class:`Torus3D`.
+    alloc_nodes:
+        Node ids reserved for the application (``Va``), in allocation
+        order — the order the scheduler hands them out, which the DEF
+        mapping follows rank by rank.
+    procs_per_node:
+        Either a scalar (uniform capacity) or an array aligned with
+        *alloc_nodes*.
+    """
+
+    __slots__ = (
+        "torus",
+        "alloc_nodes",
+        "capacities",
+        "_alloc_mask",
+        "_alloc_index",
+    )
+
+    def __init__(
+        self,
+        torus: Torus3D,
+        alloc_nodes: Sequence[int],
+        procs_per_node=16,
+    ) -> None:
+        self.torus = torus
+        nodes = np.asarray(list(alloc_nodes), dtype=np.int64)
+        if nodes.size == 0:
+            raise ValueError("allocation must contain at least one node")
+        if nodes.min() < 0 or nodes.max() >= torus.num_nodes:
+            raise ValueError("allocated node id outside the torus")
+        if np.unique(nodes).shape[0] != nodes.shape[0]:
+            raise ValueError("allocation contains duplicate nodes")
+        self.alloc_nodes = nodes
+        caps = np.asarray(procs_per_node, dtype=np.int64)
+        if caps.ndim == 0:
+            caps = np.full(nodes.shape[0], int(caps), dtype=np.int64)
+        if caps.shape[0] != nodes.shape[0]:
+            raise ValueError("procs_per_node must align with alloc_nodes")
+        if np.any(caps <= 0):
+            raise ValueError("per-node capacities must be positive")
+        self.capacities = caps
+        self._alloc_mask: Optional[np.ndarray] = None
+        self._alloc_index: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_alloc_nodes(self) -> int:
+        return self.alloc_nodes.shape[0]
+
+    @property
+    def total_procs(self) -> int:
+        return int(self.capacities.sum())
+
+    def alloc_mask(self) -> np.ndarray:
+        """bool[num_nodes]: membership in ``Va`` (cached)."""
+        if self._alloc_mask is None:
+            mask = np.zeros(self.torus.num_nodes, dtype=bool)
+            mask[self.alloc_nodes] = True
+            self._alloc_mask = mask
+        return self._alloc_mask
+
+    def alloc_index(self) -> np.ndarray:
+        """int64[num_nodes]: index into *alloc_nodes* (-1 if unallocated)."""
+        if self._alloc_index is None:
+            idx = np.full(self.torus.num_nodes, -1, dtype=np.int64)
+            idx[self.alloc_nodes] = np.arange(self.num_alloc_nodes)
+            self._alloc_index = idx
+        return self._alloc_index
+
+    def node_capacities(self) -> np.ndarray:
+        """int64[num_nodes]: ``w(m)`` — zero for nodes outside ``Va``."""
+        caps = np.zeros(self.torus.num_nodes, dtype=np.int64)
+        caps[self.alloc_nodes] = self.capacities
+        return caps
+
+    # ------------------------------------------------------------------
+    def graph(self) -> CSRGraph:
+        """The topology graph ``Gm`` (all torus nodes, not just ``Va``).
+
+        Mapping BFS traversals must cross unallocated nodes — two allocated
+        nodes can be topologically close *through* someone else's job.
+        """
+        return self.torus.graph()
+
+    def hop_distance(self, u, v) -> np.ndarray:
+        return self.torus.hop_distance(u, v)
+
+    def uniform_capacity(self) -> bool:
+        """True if every allocated node offers the same processor count."""
+        return bool(np.all(self.capacities == self.capacities[0]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Machine(torus={self.torus.dims}, nodes={self.num_alloc_nodes}, "
+            f"procs={self.total_procs})"
+        )

@@ -1,0 +1,45 @@
+"""Shared low-level utilities.
+
+This subpackage hosts the small data structures and helpers every other
+layer builds on:
+
+* :mod:`repro.util.heap` -- addressable binary max-heaps used by all three
+  mapping algorithms (``conn`` in Algorithm 1, ``whHeap`` in Algorithm 2 and
+  ``congHeap`` in Algorithm 3 of the paper).
+* :mod:`repro.util.rng` -- deterministic seeding helpers so that every
+  experiment in the harness is reproducible bit-for-bit.
+* :mod:`repro.util.sfc` -- space-filling-curve orderings used by the
+  Cray-like allocator and the DEF mapping baseline.
+* :mod:`repro.util.validation` -- argument checking helpers shared by the
+  public API surface.
+* :mod:`repro.util.timing` -- tiny wall-clock timer used by the Figure 3
+  experiment (mapping times).
+"""
+
+from repro.util.heap import AddressableMaxHeap, AddressableMinHeap
+from repro.util.rng import seeded_rng, spawn_seeds
+from repro.util.sfc import hilbert2d_order, snake3d_order, sfc_node_order
+from repro.util.timing import Timer
+from repro.util.validation import (
+    check_array_1d,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "AddressableMaxHeap",
+    "AddressableMinHeap",
+    "seeded_rng",
+    "spawn_seeds",
+    "hilbert2d_order",
+    "snake3d_order",
+    "sfc_node_order",
+    "Timer",
+    "check_array_1d",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,118 @@
+"""Space-filling-curve orderings for node placement.
+
+The paper (Sec. IV-B) explains why Hopper's *default* mapping is already a
+decent baseline: "Hopper places the consecutive MPI ranks within a single
+node, then it moves to the closer nodes using space filling curves".  The
+Cray ALPS scheduler orders nodes along a curve through the torus so that
+consecutively allocated nodes tend to be physically close [Albing et al.,
+CUG 2011].
+
+We provide two orderings over a 3-D grid:
+
+* :func:`snake3d_order` -- boustrophedon ("snake") sweep: x fastest with
+  alternating direction per y row, y alternating per z plane.  This is the
+  classic xyz-ordering approximation of ALPS' linear ordering.
+* :func:`hilbert2d_order` -- true Hilbert curve on a 2^k x 2^k grid, used by
+  :func:`sfc_node_order` to order the (x, y) footprint when the torus has a
+  shallow z dimension (as Gemini's torus does: two nodes share a router).
+
+Both return a permutation of node ids such that walking the permutation
+visits physically nearby nodes consecutively.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["snake3d_order", "hilbert2d_order", "sfc_node_order"]
+
+
+def snake3d_order(dims: Tuple[int, int, int]) -> np.ndarray:
+    """Boustrophedon ordering of a ``dims = (nx, ny, nz)`` grid.
+
+    Returns an int64 array ``order`` of length ``nx*ny*nz`` where
+    ``order[i]`` is the node id (``x + nx*(y + ny*z)``) visited at step
+    ``i``.  Consecutive steps differ by exactly one hop in the grid (the
+    wrap-around links of a torus are not needed).
+    """
+    nx, ny, nz = dims
+    if nx <= 0 or ny <= 0 or nz <= 0:
+        raise ValueError(f"dims must be positive, got {dims}")
+    order = np.empty(nx * ny * nz, dtype=np.int64)
+    i = 0
+    for z in range(nz):
+        ys = range(ny) if z % 2 == 0 else range(ny - 1, -1, -1)
+        for y in ys:
+            # Alternate x direction so consecutive nodes stay adjacent.
+            flip = (y + z) % 2 == 1
+            xs = range(nx - 1, -1, -1) if flip else range(nx)
+            for x in xs:
+                order[i] = x + nx * (y + ny * z)
+                i += 1
+    return order
+
+
+def _hilbert_d2xy(k: int, d: int) -> Tuple[int, int]:
+    """Convert distance *d* along a 2^k x 2^k Hilbert curve to (x, y)."""
+    x = y = 0
+    t = d
+    s = 1
+    while s < (1 << k):
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        # Rotate quadrant.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+def hilbert2d_order(k: int) -> np.ndarray:
+    """Hilbert ordering of a ``2^k x 2^k`` grid.
+
+    Returns ``order`` with ``order[d] = x + 2^k * y`` for curve position
+    ``d``.  Every consecutive pair of visited cells is grid-adjacent, which
+    is the locality property ALPS exploits.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    n = 1 << k
+    order = np.empty(n * n, dtype=np.int64)
+    for d in range(n * n):
+        x, y = _hilbert_d2xy(k, d)
+        order[d] = x + n * y
+    return order
+
+
+def sfc_node_order(dims: Tuple[int, int, int]) -> np.ndarray:
+    """Locality-preserving linear ordering of the torus nodes.
+
+    Uses a Hilbert curve over (x, y) when both are equal powers of two
+    (interleaving z fastest, since Gemini routers stack two nodes in z),
+    and falls back to the snake ordering otherwise.  The returned array is
+    a permutation of ``range(nx*ny*nz)``.
+    """
+    nx, ny, nz = dims
+    if nx == ny and nx > 0 and (nx & (nx - 1)) == 0:
+        k = int(nx).bit_length() - 1
+        xy = hilbert2d_order(k)
+        order = np.empty(nx * ny * nz, dtype=np.int64)
+        i = 0
+        for d in range(nx * ny):
+            cell = int(xy[d])
+            x, y = cell % nx, cell // nx
+            # Snake through z within each (x, y) column.
+            zs = range(nz) if d % 2 == 0 else range(nz - 1, -1, -1)
+            for z in zs:
+                order[i] = x + nx * (y + ny * z)
+                i += 1
+        return order
+    return snake3d_order(dims)

@@ -1,0 +1,55 @@
+"""Wall-clock timing helper used by the Figure 3 experiment.
+
+Figure 3 of the paper reports the (geometric) mean *mapping times* of each
+algorithm.  The experiment harness wraps each mapper invocation in a
+:class:`Timer` so the reported time covers exactly the mapping work (not
+graph construction or metric evaluation), mirroring how the authors timed
+their UMPA variants.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch accumulating multiple timed sections.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    >>> with t:                     # accumulates
+    ...     _ = sum(range(1000))
+    >>> len(t.laps)
+    2
+    """
+
+    __slots__ = ("elapsed", "laps", "_start")
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self.laps: List[float] = []
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None, "Timer.__exit__ without __enter__"
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+        self._start = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None

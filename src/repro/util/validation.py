@@ -1,0 +1,74 @@
+"""Argument-validation helpers for the public API surface.
+
+The library is used both programmatically and from the experiment harness;
+failing early with a precise message is cheaper than debugging a vectorized
+NumPy traceback three layers down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_probability",
+    "check_array_1d",
+    "check_same_length",
+]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ValueError unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise ValueError unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise ValueError unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ValueError unless *value* is a probability in [0, 1]."""
+    check_in_range(name, value, 0.0, 1.0)
+
+
+def check_array_1d(
+    name: str,
+    arr: Any,
+    *,
+    length: Optional[int] = None,
+    dtype: Optional[type] = None,
+) -> np.ndarray:
+    """Coerce *arr* to a 1-D ndarray, optionally checking length/dtype kind.
+
+    Returns the coerced array so callers can write
+    ``weights = check_array_1d("weights", weights, length=n)``.
+    """
+    out = np.asarray(arr)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {out.shape}")
+    if length is not None and out.shape[0] != length:
+        raise ValueError(f"{name} must have length {length}, got {out.shape[0]}")
+    if dtype is not None:
+        out = out.astype(dtype, copy=False)
+    return out
+
+
+def check_same_length(names: Sequence[str], arrays: Sequence[Any]) -> None:
+    """Raise ValueError unless all arrays have identical length."""
+    lengths = [len(a) for a in arrays]
+    if len(set(lengths)) > 1:
+        pairs = ", ".join(f"{n}={l}" for n, l in zip(names, lengths))
+        raise ValueError(f"length mismatch: {pairs}")

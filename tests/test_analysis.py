@@ -1,0 +1,103 @@
+"""Tests for NNLS regression and the statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regression import (
+    METRIC_COLUMNS,
+    nnls_regression,
+    pearson_matrix,
+    standardize_columns,
+)
+from repro.analysis.stats import geo_mean_ratio, geometric_mean, normalize_to
+
+
+class TestStats:
+    def test_geometric_mean_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_drops_nan(self):
+        assert geometric_mean([2.0, float("nan"), 8.0]) == pytest.approx(4.0)
+
+    def test_normalize_to(self):
+        out = normalize_to({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+        with pytest.raises(ValueError):
+            normalize_to({"a": 0.0}, "a")
+
+    def test_geo_mean_ratio(self):
+        assert geo_mean_ratio([2, 8], [1, 2]) == pytest.approx(
+            np.sqrt(2 * 4)
+        )
+        with pytest.raises(ValueError):
+            geo_mean_ratio([1], [1, 2])
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        v = rng.uniform(1, 5, size=(50, 4))
+        s = standardize_columns(v)
+        assert np.allclose(s.mean(axis=0), 0, atol=1e-12)
+        assert np.allclose(s.std(axis=0), 1, atol=1e-12)
+
+    def test_constant_column_zeroed(self):
+        v = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        s = standardize_columns(v)
+        assert np.all(s[:, 0] == 0)
+
+
+class TestNnls:
+    def test_recovers_planted_dependency(self):
+        """time = 3*col0 + 1*col3 (standardized) -> NNLS finds those two."""
+        rng = np.random.default_rng(1)
+        v = rng.uniform(0, 10, size=(200, len(METRIC_COLUMNS)))
+        vs = standardize_columns(v)
+        t = 3.0 * vs[:, 0] + 1.0 * vs[:, 3] + rng.normal(0, 0.01, 200)
+        fit = nnls_regression(v, t)
+        nz = fit.nonzero(threshold=0.1)
+        assert METRIC_COLUMNS[0] in nz
+        assert METRIC_COLUMNS[3] in nz
+        assert list(nz)[0] == METRIC_COLUMNS[0]  # largest coefficient first
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(2)
+        v = rng.uniform(0, 1, size=(60, len(METRIC_COLUMNS)))
+        t = rng.uniform(0, 1, 60)
+        fit = nnls_regression(v, t)
+        assert all(c >= 0 for c in fit.coefficients.values())
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            nnls_regression(np.zeros((5, 3)), np.zeros(5))
+        with pytest.raises(ValueError):
+            nnls_regression(np.zeros((5, 14)), np.zeros(4))
+        with pytest.raises(ValueError):
+            nnls_regression(np.zeros(14), np.zeros(14))
+
+    def test_top(self):
+        rng = np.random.default_rng(3)
+        v = rng.uniform(0, 10, size=(100, len(METRIC_COLUMNS)))
+        vs = standardize_columns(v)
+        t = 2.0 * vs[:, 5]
+        fit = nnls_regression(v, t)
+        assert fit.top(1) == [METRIC_COLUMNS[5]]
+
+
+class TestPearson:
+    def test_correlated_pair_detected(self):
+        rng = np.random.default_rng(4)
+        base = rng.uniform(0, 1, 100)
+        v = rng.uniform(0, 1, size=(100, len(METRIC_COLUMNS)))
+        v[:, 9] = base  # AMC
+        v[:, 13] = base * 2 + rng.normal(0, 0.01, 100)  # MNRM ~ AMC
+        corr = pearson_matrix(v)
+        assert corr[("AMC", "MNRM")] > 0.95
+
+    def test_column_count_checked(self):
+        with pytest.raises(ValueError):
+            pearson_matrix(np.zeros((5, 3)))

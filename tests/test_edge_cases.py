@@ -1,0 +1,124 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.task_graph import TaskGraph
+from repro.mapping.base import Mapping
+from repro.mapping.greedy import greedy_map
+from repro.mapping.refine_wh import WHRefiner
+from repro.sim.network import FlowSimulator
+from repro.topology.machine import Machine
+from repro.topology.routing import route, routes_bulk
+from repro.topology.torus import Torus3D
+
+
+class TestDegenerateTori:
+    def test_flat_torus_routing(self):
+        """dims with a size-1 axis: routes never touch that dimension."""
+        t = Torus3D((1, 5, 5))
+        r = route(t, 0, t.node_id(0, 3, 2))
+        assert len(r) == t.hop_distance(0, t.node_id(0, 3, 2))
+        dims = [(lid % 6) // 2 for lid in r]
+        assert 0 not in dims
+
+    def test_line_of_two(self):
+        t = Torus3D((2, 1, 1))
+        assert t.hop_distance(0, 1) == 1
+        assert len(route(t, 0, 1)) == 1
+
+    def test_single_node_torus(self):
+        t = Torus3D((1, 1, 1))
+        assert t.num_nodes == 1
+        assert t.diameter == 0
+        links, msg = routes_bulk(t, np.array([0]), np.array([0]))
+        assert links.size == 0
+
+    def test_flow_sim_on_flat_torus(self):
+        t = Torus3D((1, 4, 4))
+        sim = FlowSimulator(t)
+        res = sim.simulate(
+            np.array([0]), np.array([t.node_id(0, 2, 1)]), np.array([1e8])
+        )
+        assert res.makespan > 0
+
+
+class TestDegenerateWorkloads:
+    def test_empty_task_graph_mapping(self):
+        t = Torus3D((2, 2, 2))
+        machine = Machine(t, [0, 1, 2], procs_per_node=1)
+        tg = TaskGraph.from_edges(3, [], [], [])
+        gamma = greedy_map(tg, machine)
+        assert np.unique(gamma).shape[0] == 3
+
+    def test_single_task(self):
+        t = Torus3D((2, 2, 2))
+        machine = Machine(t, [5], procs_per_node=1)
+        tg = TaskGraph.from_edges(1, [], [], [])
+        gamma = greedy_map(tg, machine)
+        assert gamma[0] == 5
+
+    def test_more_capacity_than_tasks(self):
+        """Free nodes may stay empty; mapping still valid."""
+        t = Torus3D((3, 3, 1))
+        machine = Machine(t, list(range(6)), procs_per_node=4)
+        tg = TaskGraph.from_edges(
+            3, [0, 1], [1, 2], [1.0, 1.0], loads=np.array([2.0, 2.0, 2.0])
+        )
+        gamma = greedy_map(tg, machine)
+        used = np.zeros(t.num_nodes)
+        np.add.at(used, gamma, tg.loads)
+        assert np.all(used <= machine.node_capacities())
+
+    def test_star_task_graph(self):
+        """A hub-and-spoke pattern: hub ends up centrally placed."""
+        t = Torus3D((5, 5, 1))
+        machine = Machine(t, list(range(25)), procs_per_node=1)
+        n = 9
+        src = [0] * (n - 1)
+        dst = list(range(1, n))
+        tg = TaskGraph.from_edges(n, src, dst, [5.0] * (n - 1))
+        gamma = greedy_map(tg, machine)
+        hub = int(gamma[0])
+        mean_spoke_dist = np.mean(
+            [t.hop_distance(hub, int(gamma[i])) for i in range(1, n)]
+        )
+        assert mean_spoke_dist <= 2.0  # spokes hug the hub
+
+    def test_wh_refiner_skips_unequal_weights(self):
+        """Swaps between different-weight groups must be rejected."""
+        t = Torus3D((3, 3, 1))
+        machine = Machine(t, [0, 1, 2], procs_per_node=np.array([4, 2, 2]))
+        tg = TaskGraph.from_edges(
+            3, [0, 2], [2, 0], [10.0, 10.0], loads=np.array([4.0, 2.0, 2.0])
+        )
+        # group 0 (weight 4) on node 0; groups 1,2 on nodes 1,2.
+        start = Mapping(np.array([0, 1, 2]), machine)
+        refined = WHRefiner().refine(tg, start)
+        # group 0 can only stay on node 0 (the only capacity-4 node).
+        assert refined.gamma[0] == 0
+
+    def test_self_communication_only(self):
+        """A graph whose only edges are self-loops maps trivially."""
+        t = Torus3D((2, 2, 1))
+        machine = Machine(t, [0, 1], procs_per_node=1)
+        tg = TaskGraph.from_edges(2, [0, 1], [0, 1], [5.0, 5.0])
+        assert tg.num_messages == 0
+        gamma = greedy_map(tg, machine)
+        assert np.unique(gamma).shape[0] == 2
+
+
+class TestNumericRobustness:
+    def test_zero_volume_edges(self):
+        g = CSRGraph.from_edges(3, [0, 1], [1, 2], [0.0, 0.0])
+        assert g.total_edge_weight() == 0.0
+        assert g.out_volume().sum() == 0.0
+
+    def test_huge_volumes_no_overflow(self):
+        tg = TaskGraph.from_edges(2, [0], [1], [1e15])
+        t = Torus3D((2, 2, 1))
+        machine = Machine(t, [0, 1], procs_per_node=1)
+        sim = FlowSimulator(t)
+        res = sim.simulate(np.array([0]), np.array([1]), np.array([1e15]))
+        assert np.isfinite(res.makespan)

@@ -1,0 +1,107 @@
+"""Smoke tests for every figure/table runner at micro scale.
+
+These exercise the exact code paths the benchmark harness uses, on a
+deliberately tiny profile, so harness regressions surface in the unit
+suite rather than at benchmark time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_fig1,
+    format_fig2,
+    format_fig3,
+    format_fig4,
+    format_fig5,
+    format_regression,
+    format_table1,
+    run_fig1,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_regression,
+    run_table1,
+)
+from repro.experiments.harness import WorkloadCache
+from repro.experiments.profiles import ExperimentProfile
+
+MICRO = ExperimentProfile(
+    name="micro",
+    rows_per_unit=300,
+    proc_counts=(16, 32),
+    procs_per_node=4,
+    fragmentation=0.3,
+    alloc_seeds=(0,),
+    corpus_names=("cage15_like", "rgg_n23_like"),
+    repetitions=2,
+)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return WorkloadCache(MICRO)
+
+
+class TestRunners:
+    def test_fig1(self, cache):
+        r = run_fig1(MICRO, cache)
+        assert r.values[(16, "PATOH", "TV")] == pytest.approx(1.0)
+        out = format_fig1(r)
+        assert "PATOH" in out and "MSV" in out
+
+    def test_fig2_and_fig3(self, cache):
+        r = run_fig2(MICRO, cache)
+        for m in ("TH", "WH", "MMC", "MC"):
+            assert r.values[(16, "DEF", m)] == pytest.approx(1.0)
+        assert all(t > 0 for t in r.times.values())
+        assert "DEF" in format_fig2(r)
+        assert "TMAP" in format_fig3(r)
+
+    def test_fig4(self, cache):
+        r = run_fig4("cage15_like", MICRO, cache)
+        assert r.values[("PATOH", "DEF", "time")] == pytest.approx(1.0)
+        assert r.num_procs == 32
+        assert "KAFFPA" in format_fig4(r)
+
+    def test_fig4_rejects_non_flagship(self, cache):
+        with pytest.raises(ValueError):
+            run_fig4("ecology_like", MICRO, cache)
+
+    def test_fig5(self, cache):
+        r = run_fig5("cage15_like", MICRO, cache, iterations=10)
+        assert r.iterations == 10
+        assert r.values[("PATOH", "DEF", "TH")] == pytest.approx(1.0)
+        assert "SpMV" in format_fig5(r)
+
+    def test_table1(self, cache):
+        r = run_table1(MICRO, cache)
+        apps = {k[0] for k in r.rows}
+        assert apps == {"cage_spmv", "cage_comm", "rgg_comm"}
+        gm = r.gmean("cage_spmv")
+        assert set(gm) == {"TMAP", "UG", "UWH", "UMC", "UMMC"}
+        assert all(0.1 < v < 10 for v in gm.values())
+        assert "Gmean" in format_table1(r)
+
+    def test_regression(self, cache):
+        r = run_regression(MICRO, cache)
+        assert r.num_rows > 0
+        assert all(c >= 0 for c in r.comm_only.coefficients.values())
+        assert "Pearson" in format_regression(r)
+
+
+class TestCli:
+    def test_cli_fig1(self, capsys):
+        from repro.experiments.__main__ import main
+
+        # The CLI builds its own cache; use the smoke profile for speed.
+        rc = main(["fig1", "--profile", "smoke"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_cli_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig9"])

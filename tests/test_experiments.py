@@ -1,0 +1,103 @@
+"""Tests for the experiment harness, profiles and corpus."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import CORPUS, FLAGSHIPS, load_corpus, load_matrix
+from repro.experiments.harness import WorkloadCache, build_machine, build_workload
+from repro.experiments.profiles import (
+    PROFILES,
+    ExperimentProfile,
+    get_profile,
+    profile_from_env,
+)
+
+
+class TestCorpus:
+    def test_25_matrices_9_classes(self):
+        assert len(CORPUS) == 25
+        assert len({e.group for e in CORPUS}) == 9
+
+    def test_names_unique(self):
+        names = [e.name for e in CORPUS]
+        assert len(set(names)) == 25
+
+    def test_flagships_exist(self):
+        names = {e.name for e in CORPUS}
+        assert set(FLAGSHIPS) <= names
+
+    def test_load_matrix_scales(self):
+        entry = CORPUS[0]
+        small = load_matrix(entry, rows_per_unit=200)
+        big = load_matrix(entry, rows_per_unit=400)
+        assert big.num_rows == 2 * small.num_rows
+        assert small.name == entry.name
+
+    def test_load_corpus_subset(self):
+        mats = load_corpus(100, names=FLAGSHIPS)
+        assert [m.name for m in mats] == list(FLAGSHIPS)
+
+    def test_load_corpus_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_corpus(100, names=("nope",))
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert {"smoke", "ci", "small", "paper"} <= set(PROFILES)
+        assert get_profile("ci").name == "ci"
+        with pytest.raises(ValueError):
+            get_profile("huge")
+
+    def test_nodes_for(self):
+        p = get_profile("ci")
+        assert p.nodes_for(p.procs_per_node * 10) == 10
+        with pytest.raises(ValueError):
+            p.nodes_for(p.procs_per_node * 10 + 1)
+
+    def test_profile_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        assert profile_from_env().name == "smoke"
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert profile_from_env("ci").name == "ci"
+
+    def test_paper_profile_matches_publication(self):
+        p = get_profile("paper")
+        assert p.proc_counts == (1024, 2048, 4096, 8192, 16384)
+        assert p.procs_per_node == 16
+        assert len(p.alloc_seeds) == 5
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def cache(self):
+        return WorkloadCache(get_profile("smoke"))
+
+    def test_workload_build(self, cache):
+        wl = cache.workload("cage15_like", "PATOH", 32)
+        assert wl.task_graph.num_tasks == 32
+        assert wl.partition_metrics.tv > 0
+        assert wl.part.shape[0] == cache.matrix("cage15_like").num_rows
+
+    def test_workload_cached(self, cache):
+        a = cache.workload("cage15_like", "PATOH", 32)
+        b = cache.workload("cage15_like", "PATOH", 32)
+        assert a is b
+
+    def test_machine_build(self, cache):
+        m = cache.machine(32, 0)
+        p = get_profile("smoke")
+        assert m.num_alloc_nodes == 32 // p.procs_per_node
+        assert m.total_procs == 32
+
+    def test_machines_differ_by_seed(self, cache):
+        a = cache.machine(32, 0).alloc_nodes
+        b = cache.machine(32, 1).alloc_nodes
+        assert not np.array_equal(a, b)
+
+    def test_groups_capacity_exact(self, cache):
+        groups, coarse = cache.groups("cage15_like", "PATOH", 32, 0)
+        m = cache.machine(32, 0)
+        assert np.array_equal(
+            np.bincount(groups, minlength=m.num_alloc_nodes), m.capacities
+        )

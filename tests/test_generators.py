@@ -1,0 +1,105 @@
+"""Tests for the synthetic matrix generators (UFL stand-ins)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph.generators import GENERATORS, generate_matrix
+from repro.graph.matrices import SparseMatrix
+
+ALL_GROUPS = sorted(GENERATORS)
+
+
+@pytest.mark.parametrize("group", ALL_GROUPS)
+class TestAllGenerators:
+    def test_square_with_diagonal(self, group):
+        m = generate_matrix(group, 300, seed=1)
+        assert m.num_rows == 300
+        diag = m.pattern.diagonal()
+        assert np.all(diag == 1), "structural diagonal must be present"
+
+    def test_symmetric_pattern(self, group):
+        m = generate_matrix(group, 300, seed=1)
+        a = m.pattern
+        diff = (a - a.T)
+        assert abs(diff).sum() == 0
+
+    def test_deterministic(self, group):
+        a = generate_matrix(group, 200, seed=5).pattern
+        b = generate_matrix(group, 200, seed=5).pattern
+        assert (a != b).nnz == 0
+
+    def test_seed_changes_pattern(self, group):
+        a = generate_matrix(group, 300, seed=1).pattern
+        b = generate_matrix(group, 300, seed=2).pattern
+        if group in ("stencil2d", "stencil3d"):
+            pytest.skip("stencils are seed-independent by construction")
+        assert (a != b).nnz > 0
+
+    def test_group_metadata(self, group):
+        m = generate_matrix(group, 150, seed=0)
+        assert m.group == group
+        assert m.nnz >= m.num_rows  # at least the diagonal
+
+
+class TestStructuralCharacter:
+    def test_rgg_degree_close_to_target(self):
+        m = generate_matrix("rgg", 3000, seed=0, degree=12.0)
+        mean_offdiag = (m.nnz - m.num_rows) / m.num_rows
+        assert 7.0 < mean_offdiag < 18.0
+
+    def test_powerlaw_has_hubs(self):
+        m = generate_matrix("powerlaw", 2000, seed=0)
+        deg = m.row_nnz()
+        assert deg.max() > 10 * np.median(deg)
+
+    def test_road_is_sparse_high_diameter(self):
+        m = generate_matrix("road", 2000, seed=0)
+        mean_deg = m.nnz / m.num_rows
+        assert mean_deg < 8
+        g = m.structure_graph()
+        levels = g.bfs_levels([0])
+        assert levels.max() > 10  # long shortest paths
+
+    def test_stencil2d_degree_bound(self):
+        m = generate_matrix("stencil2d", 900, seed=0)
+        assert m.row_nnz().max() <= 5  # 4 neighbours + diagonal
+
+    def test_circuit_has_dense_rails(self):
+        m = generate_matrix("circuit", 3000, seed=0)
+        deg = m.row_nnz()
+        assert deg.max() > 8 * np.median(deg)
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(ValueError):
+            generate_matrix("nosuch", 100)
+
+
+class TestSparseMatrixContainer:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            SparseMatrix("x", "g", sp.csr_array(np.ones((2, 3))))
+
+    def test_rejects_dense_input(self):
+        with pytest.raises(TypeError):
+            SparseMatrix("x", "g", np.eye(3))
+
+    def test_row_nnz_matches_pattern(self):
+        m = generate_matrix("cage", 100, seed=0)
+        assert m.row_nnz().sum() == m.nnz
+
+    def test_structure_graph_no_self_loops(self):
+        m = generate_matrix("fem", 200, seed=0)
+        g = m.structure_graph()
+        src = np.repeat(np.arange(g.num_vertices), np.diff(g.indptr))
+        assert not np.any(src == g.indices)
+
+    def test_values_on_pattern(self):
+        m = generate_matrix("cage", 100, seed=0)
+        vals = m.values(seed=1)
+        assert vals.nnz == m.nnz
+        assert np.all(vals.data > 0)
+
+    def test_values_deterministic(self):
+        m = generate_matrix("cage", 100, seed=0)
+        assert np.array_equal(m.values(seed=1).data, m.values(seed=1).data)

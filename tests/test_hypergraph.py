@@ -1,0 +1,108 @@
+"""Tests for the column-net hypergraph model, with brute-force oracles."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import cage_like
+from repro.graph.matrices import SparseMatrix
+from repro.hypergraph.model import Hypergraph
+
+
+def brute_force_comm(pattern: sp.csr_array, part: np.ndarray, k: int):
+    """Naive TV/TM/MSV/MSM + directed volumes from first principles."""
+    n = pattern.shape[0]
+    csc = sp.csc_array(pattern)
+    vol = {}
+    for j in range(n):
+        pins = csc.indices[csc.indptr[j] : csc.indptr[j + 1]]
+        owner = part[j]
+        targets = {int(part[i]) for i in pins} - {int(owner)}
+        for q in targets:
+            vol[(int(owner), q)] = vol.get((int(owner), q), 0) + 1
+    tv = sum(vol.values())
+    tm = len(vol)
+    send = np.zeros(k)
+    sendm = np.zeros(k, dtype=int)
+    for (p, _q), v in vol.items():
+        send[p] += v
+        sendm[p] += 1
+    return tv, tm, send, sendm, vol
+
+
+class TestStructure:
+    def test_from_matrix_pins(self):
+        m = cage_like(50, seed=0)
+        h = Hypergraph.from_matrix(m)
+        assert h.num_vertices == 50 and h.num_nets == 50
+        for j in (0, 10, 49):
+            assert j in h.pins(j), "diagonal pin must exist"
+
+    def test_vertex_incidence_transpose(self):
+        m = cage_like(60, seed=1)
+        h = Hypergraph.from_matrix(m)
+        for v in (0, 5, 59):
+            for j in h.nets_of(v):
+                assert v in h.pins(int(j))
+
+    def test_loads_are_row_nnz(self):
+        m = cage_like(40, seed=2)
+        h = Hypergraph.from_matrix(m)
+        assert np.array_equal(h.loads, m.row_nnz())
+
+    def test_malformed_csr_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(2, np.array([0, 1]), np.array([5], dtype=np.int32))
+
+
+class TestConnectivityMetrics:
+    def test_single_part_no_communication(self):
+        m = cage_like(30, seed=0)
+        h = Hypergraph.from_matrix(m)
+        part = np.zeros(30, dtype=np.int64)
+        assert h.total_volume(part, 1) == 0.0
+        assert h.cut_nets(part, 1) == 0
+        src, dst, vol = h.comm_triplets(part, 1)
+        assert src.size == 0
+
+    def test_connectivity_lambda_bounds(self):
+        m = cage_like(100, seed=1)
+        h = Hypergraph.from_matrix(m)
+        part = np.arange(100) % 4
+        lam = h.connectivity(part, 4)
+        assert np.all(lam >= 1) and np.all(lam <= 4)
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_against_brute_force(self, k):
+        m = cage_like(80, seed=3)
+        h = Hypergraph.from_matrix(m)
+        rng = np.random.default_rng(4)
+        part = rng.integers(0, k, size=80)
+        tv, tm, send, sendm, vol = brute_force_comm(m.pattern, part, k)
+        assert h.total_volume(part, k) == pytest.approx(tv)
+        src, dst, v = h.comm_triplets(part, k)
+        got = {}
+        for s, d, w in zip(src, dst, v):
+            got[(int(s), int(d))] = got.get((int(s), int(d)), 0) + w
+        assert got == vol
+
+    def test_part_loads(self):
+        m = cage_like(20, seed=0)
+        h = Hypergraph.from_matrix(m)
+        part = np.array([0] * 10 + [1] * 10)
+        loads = h.part_loads(part, 2)
+        assert loads.sum() == pytest.approx(h.loads.sum())
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(2, 5), st.integers(0, 1000))
+def test_property_tv_equals_triplet_sum(k, seed):
+    """TV computed from λ must equal the sum of directed triplet volumes."""
+    m = cage_like(60, seed=seed % 17)
+    h = Hypergraph.from_matrix(m)
+    rng = np.random.default_rng(seed)
+    part = rng.integers(0, k, size=60)
+    _, _, vol = h.comm_triplets(part, k)
+    assert vol.sum() == pytest.approx(h.total_volume(part, k))

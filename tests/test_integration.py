@@ -1,0 +1,87 @@
+"""End-to-end integration tests exercising the full public pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AllocationSpec,
+    Hypergraph,
+    SparseAllocator,
+    TaskGraph,
+    evaluate_mapping,
+    generate_matrix,
+    get_mapper,
+    get_partitioner,
+    quick_map,
+    torus_for_job,
+)
+from repro.mapping.pipeline import MAPPER_NAMES, prepare_groups
+
+
+@pytest.fixture(scope="module")
+def full_pipeline():
+    """Matrix -> PATOH partition -> task graph -> machine, mid-sized."""
+    matrix = generate_matrix("cage", 1200, seed=2)
+    h = Hypergraph.from_matrix(matrix)
+    procs, ppn = 128, 4
+    part = get_partitioner("PATOH").partition(matrix, procs, seed=1, hypergraph=h).part
+    loads = np.bincount(part, weights=h.loads, minlength=procs)
+    tg = TaskGraph.from_comm_triplets(
+        procs, h.comm_triplets(part, procs), loads=loads
+    )
+    nodes = procs // ppn
+    torus = torus_for_job(nodes)
+    machine = SparseAllocator(torus).allocate(
+        AllocationSpec(num_nodes=nodes, procs_per_node=ppn, fragmentation=0.4, seed=3)
+    )
+    groups = prepare_groups(tg, machine, seed=4)
+    return tg, machine, groups
+
+
+class TestHeadlineClaims:
+    """The paper's qualitative results must hold on a mid-sized instance."""
+
+    @pytest.fixture(scope="class")
+    def report(self, full_pipeline):
+        tg, machine, groups = full_pipeline
+        out = {}
+        for name in MAPPER_NAMES:
+            res = get_mapper(name, seed=4).map(
+                tg, machine, groups=None if name in ("DEF", "TMAP") else groups
+            )
+            out[name] = evaluate_mapping(tg, machine, res.fine_gamma)
+        return out
+
+    def test_ug_improves_wh_over_def(self, report):
+        assert report["UG"].wh < report["DEF"].wh
+
+    def test_uwh_at_least_as_good_as_ug_on_wh(self, report):
+        assert report["UWH"].wh <= report["UG"].wh * 1.02
+
+    def test_umc_best_mc_among_umpa(self, report):
+        assert report["UMC"].mc <= min(
+            report["UG"].mc, report["UWH"].mc, report["UMMC"].mc
+        ) * 1.05
+
+    def test_umc_improves_mc_over_def(self, report):
+        assert report["UMC"].mc < report["DEF"].mc
+
+    def test_ummc_not_worse_than_def_on_mmc(self, report):
+        """The paper compares UMMC's MMC against DEF (24-37% better)."""
+        assert report["UMMC"].mmc <= report["DEF"].mmc * 1.02
+
+    def test_tmap_mc_never_worse_than_def(self, report):
+        """The DEF-fallback guarantees MC(TMAP) <= MC(DEF)."""
+        assert report["TMAP"].mc <= report["DEF"].mc * 1.0 + 1e-9
+
+
+class TestQuickMap:
+    def test_quick_map_runs(self):
+        report = quick_map(rows=500, procs=32, seed=1)
+        assert set(report) == set(MAPPER_NAMES)
+        for metrics in report.values():
+            assert metrics.th >= 0
+
+    def test_quick_map_headline(self):
+        report = quick_map(rows=800, procs=64, seed=0)
+        assert report["UWH"].wh <= report["DEF"].wh * 1.05

@@ -1,0 +1,67 @@
+"""Tests for the mapping base helpers (Mapping, validation, expansion)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.task_graph import TaskGraph
+from repro.mapping.base import (
+    Mapping,
+    expand_mapping,
+    group_targets,
+    validate_mapping,
+    wh_of,
+)
+from repro.topology.machine import Machine
+from repro.topology.torus import Torus3D
+
+
+@pytest.fixture()
+def machine():
+    return Machine(Torus3D((3, 3, 3)), [0, 1, 2, 3], procs_per_node=4)
+
+
+class TestValidate:
+    def test_accepts_valid(self, machine):
+        validate_mapping(np.array([0, 1, 2, 3]), machine)
+
+    def test_rejects_unallocated(self, machine):
+        with pytest.raises(ValueError):
+            validate_mapping(np.array([0, 26]), machine)
+
+    def test_rejects_out_of_torus(self, machine):
+        with pytest.raises(ValueError):
+            validate_mapping(np.array([0, 100]), machine)
+
+    def test_capacity_check(self, machine):
+        # two groups of weight 3 on one capacity-4 node: overcommitted.
+        with pytest.raises(ValueError):
+            validate_mapping(
+                np.array([0, 0]), machine, group_weights=np.array([3.0, 3.0])
+            )
+        # weight 2+2 fits exactly.
+        validate_mapping(np.array([0, 0]), machine, group_weights=np.array([2.0, 2.0]))
+
+
+class TestHelpers:
+    def test_expand_mapping(self):
+        gamma = np.array([10, 20, 30])
+        groups = np.array([0, 0, 1, 2, 2])
+        assert list(expand_mapping(groups, gamma)) == [10, 10, 20, 30, 30]
+
+    def test_group_targets(self, machine):
+        assert list(group_targets(machine)) == [4.0, 4.0, 4.0, 4.0]
+
+    def test_mapping_copy_independent(self, machine):
+        m = Mapping(np.array([0, 1]), machine)
+        c = m.copy()
+        c.gamma[0] = 3
+        assert m.gamma[0] == 0
+
+    def test_wh_of_counts_directed_edges(self, machine):
+        tg = TaskGraph.from_edges(2, [0], [1], [5.0])
+        gamma = np.array([0, 1])  # adjacent nodes: 1 hop
+        assert wh_of(tg, machine, gamma) == 5.0
+
+    def test_wh_of_zero_when_colocated(self, machine):
+        tg = TaskGraph.from_edges(2, [0], [1], [5.0])
+        assert wh_of(tg, machine, np.array([2, 2])) == 0.0

@@ -1,0 +1,60 @@
+"""Tests for the shared BFS-ordered candidate enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.bfs import bfs_nodes
+from repro.topology.torus import Torus3D
+
+
+@pytest.fixture()
+def gm():
+    return Torus3D((3, 3, 3)).graph()
+
+
+class TestBfsNodes:
+    def test_sources_come_first(self, gm):
+        out = list(bfs_nodes(gm, [5, 7]))
+        assert out[:2] == [5, 7]
+
+    def test_visits_everything_once(self, gm):
+        out = list(bfs_nodes(gm, [0]))
+        assert sorted(out) == list(range(27))
+        assert len(set(out)) == len(out)
+
+    def test_level_order(self, gm):
+        torus = Torus3D((3, 3, 3))
+        out = list(bfs_nodes(gm, [0]))
+        dists = [int(torus.hop_distance(0, v)) for v in out]
+        assert dists == sorted(dists), "BFS must emit nodes level by level"
+
+    def test_within_level_sorted_by_id(self, gm):
+        torus = Torus3D((3, 3, 3))
+        out = list(bfs_nodes(gm, [0]))
+        dists = np.array([int(torus.hop_distance(0, v)) for v in out])
+        for level in range(dists.max() + 1):
+            chunk = [v for v, d in zip(out, dists) if d == level]
+            assert chunk == sorted(chunk)
+
+    def test_empty_sources(self, gm):
+        assert list(bfs_nodes(gm, [])) == []
+
+    def test_lazy_early_exit(self, gm):
+        """Consuming only a few nodes must not traverse the whole graph."""
+        gen = bfs_nodes(gm, [0])
+        first_three = [next(gen) for _ in range(3)]
+        assert first_three[0] == 0
+        gen.close()  # no error on abandoning the generator
+
+
+class TestUnitCost:
+    def test_unit_cost_view(self):
+        from repro.graph.task_graph import TaskGraph
+
+        tg = TaskGraph.from_edges(4, [0, 1, 2], [1, 2, 3], [5.0, 7.0, 9.0])
+        unit = tg.unit_cost()
+        assert unit.num_messages == tg.num_messages
+        assert unit.total_volume() == 3.0
+        assert np.array_equal(unit.graph.indices, tg.graph.indices)
+        # original untouched
+        assert tg.total_volume() == 21.0

@@ -1,0 +1,86 @@
+"""Tests for the extension mappers: fine-level refinement and UTH."""
+
+import numpy as np
+import pytest
+
+from repro.graph.task_graph import TaskGraph
+from repro.mapping.default import DefaultMapper
+from repro.mapping.pipeline import EXTENDED_MAPPER_NAMES, get_mapper, prepare_groups
+from repro.mapping.refine_fine import FineWHRefiner, fine_wh_of, internode_volume
+from repro.metrics.mapping import evaluate_mapping
+from repro.topology.allocation import AllocationSpec, SparseAllocator
+from repro.topology.torus import Torus3D
+
+
+@pytest.fixture()
+def setup():
+    torus = Torus3D((4, 4, 2))
+    machine = SparseAllocator(torus).allocate(
+        AllocationSpec(num_nodes=8, procs_per_node=3, fragmentation=0.3, seed=4)
+    )
+    rng = np.random.default_rng(2)
+    n = 24
+    m = 150
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    keep = src != dst
+    tg = TaskGraph.from_edges(n, src[keep], dst[keep], rng.uniform(1, 5, keep.sum()))
+    return tg, machine
+
+
+class TestFineRefiner:
+    def test_wh_never_increases(self, setup):
+        tg, machine = setup
+        fine0 = DefaultMapper().map_ranks(tg.num_tasks, machine)
+        wh0 = fine_wh_of(tg, machine, fine0)
+        refined = FineWHRefiner().refine(tg, machine, fine0)
+        assert fine_wh_of(tg, machine, refined) <= wh0 + 1e-9
+
+    def test_capacities_preserved(self, setup):
+        tg, machine = setup
+        fine0 = DefaultMapper().map_ranks(tg.num_tasks, machine)
+        refined = FineWHRefiner().refine(tg, machine, fine0)
+        used = np.bincount(refined, minlength=machine.torus.num_nodes)
+        assert np.all(used <= machine.node_capacities())
+        assert used.sum() == tg.num_tasks
+
+    def test_input_untouched(self, setup):
+        tg, machine = setup
+        fine0 = DefaultMapper().map_ranks(tg.num_tasks, machine)
+        before = fine0.copy()
+        FineWHRefiner().refine(tg, machine, fine0)
+        assert np.array_equal(fine0, before)
+
+    def test_internode_volume_helper(self, setup):
+        tg, machine = setup
+        # all ranks on one node -> zero internode volume
+        one_node = np.full(tg.num_tasks, machine.alloc_nodes[0])
+        assert internode_volume(tg, one_node) == 0.0
+        spread = DefaultMapper().map_ranks(tg.num_tasks, machine)
+        assert internode_volume(tg, spread) > 0
+
+
+class TestExtendedMappers:
+    def test_registry(self):
+        assert "UTH" in EXTENDED_MAPPER_NAMES
+        assert "UWHF" in EXTENDED_MAPPER_NAMES
+        assert get_mapper("uth").algorithm == "UTH"
+
+    @pytest.mark.parametrize("name", ["UTH", "UWHF"])
+    def test_extended_mappers_valid(self, setup, name):
+        tg, machine = setup
+        groups = prepare_groups(tg, machine, seed=1)
+        res = get_mapper(name, seed=1).map(tg, machine, groups=groups)
+        assert machine.alloc_mask()[res.fine_gamma].all()
+        used = np.bincount(res.fine_gamma, minlength=machine.torus.num_nodes)
+        assert np.all(used <= machine.node_capacities())
+        assert evaluate_mapping(tg, machine, res.fine_gamma).th >= 0
+
+    def test_uwhf_not_worse_than_uwh_on_wh(self, setup):
+        tg, machine = setup
+        groups = prepare_groups(tg, machine, seed=1)
+        uwh = get_mapper("UWH", seed=1).map(tg, machine, groups=groups)
+        uwhf = get_mapper("UWHF", seed=1).map(tg, machine, groups=groups)
+        assert fine_wh_of(tg, machine, uwhf.fine_gamma) <= fine_wh_of(
+            tg, machine, uwh.fine_gamma
+        ) + 1e-9

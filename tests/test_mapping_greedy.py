@@ -1,0 +1,115 @@
+"""Tests for Algorithm 1 (Greedy Mapping / UG)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.task_graph import TaskGraph
+from repro.mapping.base import wh_of
+from repro.mapping.greedy import GreedyMapper, greedy_map
+from repro.topology.allocation import AllocationSpec, SparseAllocator
+from repro.topology.machine import Machine
+from repro.topology.torus import Torus3D
+
+
+@pytest.fixture()
+def machine8():
+    torus = Torus3D((4, 4, 2))
+    return SparseAllocator(torus).allocate(
+        AllocationSpec(num_nodes=8, procs_per_node=1, fragmentation=0.3, seed=2)
+    )
+
+
+class TestValidity:
+    def test_one_to_one_mapping(self, machine8, ring_task_graph):
+        gamma = greedy_map(ring_task_graph, machine8)
+        assert np.unique(gamma).shape[0] == 8  # all distinct nodes
+        assert machine8.alloc_mask()[gamma].all()
+
+    def test_respects_capacities_multi(self):
+        torus = Torus3D((3, 3, 1))
+        machine = Machine(torus, [0, 1, 2, 3], procs_per_node=2)
+        tg = TaskGraph.from_edges(
+            8,
+            list(range(7)),
+            list(range(1, 8)),
+            [1.0] * 7,
+        )
+        gamma = greedy_map(tg, machine)
+        used = np.bincount(gamma, minlength=torus.num_nodes)
+        caps = machine.node_capacities()
+        assert np.all(used <= caps)
+
+    def test_disconnected_task_graph(self, machine8):
+        # Two disjoint 4-cycles.
+        src = [0, 1, 2, 3, 4, 5, 6, 7]
+        dst = [1, 2, 3, 0, 5, 6, 7, 4]
+        tg = TaskGraph.from_edges(8, src, dst, [1.0] * 8)
+        gamma = greedy_map(tg, machine8)
+        assert np.unique(gamma).shape[0] == 8
+
+    def test_no_communication(self, machine8):
+        tg = TaskGraph.from_edges(8, [], [], [])
+        gamma = greedy_map(tg, machine8)
+        assert np.unique(gamma).shape[0] == 8
+
+
+class TestQuality:
+    def test_beats_random_on_average(self, machine8):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 8, 24)
+        dst = rng.integers(0, 8, 24)
+        keep = src != dst
+        tg = TaskGraph.from_edges(8, src[keep], dst[keep], rng.uniform(1, 5, keep.sum()))
+        ug = GreedyMapper().map(tg, machine8)
+        ug_wh = wh_of(tg, machine8, ug.gamma)
+        rand_whs = []
+        for s in range(20):
+            perm = np.random.default_rng(s).permutation(machine8.alloc_nodes)
+            rand_whs.append(wh_of(tg, machine8, perm[:8]))
+        assert ug_wh <= np.mean(rand_whs)
+
+    def test_heavy_pair_placed_adjacent(self):
+        """Two tasks exchanging almost all volume should land close."""
+        torus = Torus3D((4, 4, 4))
+        machine = Machine(torus, list(range(0, 64, 4)), procs_per_node=1)
+        src = [0, 0, 1, 2]
+        dst = [1, 2, 3, 4]
+        vol = [100.0, 1.0, 1.0, 1.0]
+        tg = TaskGraph.from_edges(8, src + list(range(4, 7)), dst + list(range(5, 8)), vol + [1.0] * 3)
+        gamma = greedy_map(tg, machine)
+        d_heavy = int(torus.hop_distance(int(gamma[0]), int(gamma[1])))
+        dists = [
+            int(torus.hop_distance(int(gamma[a]), int(gamma[b])))
+            for a in range(8)
+            for b in range(a + 1, 8)
+        ]
+        assert d_heavy <= np.median(dists)
+
+    def test_nbfs_best_of_two(self, machine8, random_task_graph):
+        tg_small = TaskGraph.from_edges(8, [0, 2, 4], [1, 3, 5], [3.0, 2.0, 1.0])
+        mapper = GreedyMapper(nbfs_candidates=(0, 1))
+        m = mapper.map(tg_small, machine8)
+        wh_best = wh_of(tg_small, machine8, m.gamma)
+        for nbfs in (0, 1):
+            gamma = greedy_map(tg_small, machine8, nbfs=nbfs)
+            assert wh_best <= wh_of(tg_small, machine8, gamma) + 1e-9
+
+    def test_deterministic(self, machine8, random_task_graph):
+        tg = TaskGraph.from_edges(8, [0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+        a = greedy_map(tg, machine8)
+        b = greedy_map(tg, machine8)
+        assert np.array_equal(a, b)
+
+
+class TestNonUniform:
+    def test_rare_weight_groups_first(self):
+        """Groups with non-modal weight get matching-capacity nodes."""
+        torus = Torus3D((3, 3, 1))
+        machine = Machine(torus, [0, 1, 2], procs_per_node=np.array([4, 2, 2]))
+        tg = TaskGraph.from_edges(
+            3, [0, 1], [1, 2], [1.0, 1.0],
+            loads=np.array([4.0, 2.0, 2.0]),
+        )
+        gamma = greedy_map(tg, machine)
+        # the weight-4 group must sit on the capacity-4 node 0
+        assert gamma[0] == 0

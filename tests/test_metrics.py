@@ -1,0 +1,147 @@
+"""Tests for mapping / partition / node metrics with brute-force oracles."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import cage_like
+from repro.graph.task_graph import TaskGraph, coarse_task_graph
+from repro.hypergraph.model import Hypergraph
+from repro.metrics.mapping import evaluate_mapping, link_congestion, total_hops, weighted_hops
+from repro.metrics.nodes import evaluate_node_metrics
+from repro.metrics.partition import edge_cut, evaluate_partition, imbalance
+from repro.topology.machine import Machine
+from repro.topology.routing import route
+from repro.topology.torus import Torus3D
+
+
+@pytest.fixture()
+def torus():
+    return Torus3D((4, 4, 2))
+
+
+@pytest.fixture()
+def full_machine(torus):
+    return Machine(torus, list(range(torus.num_nodes)), procs_per_node=1)
+
+
+class TestMappingMetrics:
+    def test_single_edge_th_wh(self, torus, full_machine):
+        tg = TaskGraph.from_edges(2, [0], [1], [3.0])
+        gamma = np.array([0, torus.node_id(2, 1, 0)])
+        m = evaluate_mapping(tg, full_machine, gamma)
+        assert m.th == 3  # 2 x-hops + 1 y-hop
+        assert m.wh == 9.0
+
+    def test_colocated_tasks_zero(self, full_machine):
+        tg = TaskGraph.from_edges(2, [0], [1], [3.0])
+        m = evaluate_mapping(tg, full_machine, np.array([5, 5]))
+        assert m.th == 0 and m.wh == 0 and m.mmc == 0 and m.used_links == 0
+
+    def test_congestion_matches_routes(self, torus, full_machine):
+        rng = np.random.default_rng(0)
+        tg = TaskGraph.from_edges(
+            6, rng.integers(0, 6, 20), rng.integers(0, 6, 20), rng.uniform(1, 4, 20)
+        )
+        gamma = rng.choice(torus.num_nodes, size=6, replace=False)
+        msgs, vols = link_congestion(tg, full_machine, gamma)
+        # brute force: accumulate route by route
+        ref_msgs = np.zeros(torus.num_links)
+        ref_vols = np.zeros(torus.num_links)
+        s, d, w = tg.graph.edge_list()
+        for a, b, c in zip(s, d, w):
+            na, nb = int(gamma[a]), int(gamma[b])
+            if na == nb:
+                continue
+            for lid in route(torus, na, nb):
+                ref_msgs[lid] += 1
+                ref_vols[lid] += c
+        assert np.allclose(msgs, ref_msgs)
+        assert np.allclose(vols, ref_vols)
+
+    def test_amc_identity(self, torus, full_machine):
+        """AMC == TH / |used links| (paper Sec. II)."""
+        rng = np.random.default_rng(1)
+        tg = TaskGraph.from_edges(
+            8, rng.integers(0, 8, 30), rng.integers(0, 8, 30), rng.uniform(1, 4, 30)
+        )
+        gamma = rng.choice(torus.num_nodes, size=8, replace=False)
+        m = evaluate_mapping(tg, full_machine, gamma)
+        assert m.amc == pytest.approx(m.th / m.used_links)
+
+    def test_mc_uses_bandwidth(self, full_machine):
+        tg = TaskGraph.from_edges(2, [0], [1], [10.0])
+        t = full_machine.torus
+        # One hop along y (the slow dimension).
+        gamma_y = np.array([t.node_id(0, 0, 0), t.node_id(0, 1, 0)])
+        gamma_x = np.array([t.node_id(0, 0, 0), t.node_id(1, 0, 0)])
+        mc_y = evaluate_mapping(tg, full_machine, gamma_y).mc
+        mc_x = evaluate_mapping(tg, full_machine, gamma_x).mc
+        assert mc_y > mc_x  # y links have lower bandwidth
+
+    def test_invalid_gamma_rejected(self, torus):
+        machine = Machine(torus, [0, 1], procs_per_node=1)
+        tg = TaskGraph.from_edges(2, [0], [1], [1.0])
+        with pytest.raises(ValueError):
+            evaluate_mapping(tg, machine, np.array([0, 7]))  # 7 unallocated
+        with pytest.raises(ValueError):
+            evaluate_mapping(tg, machine, np.array([0]))  # wrong length
+
+    def test_helpers_match_full_eval(self, torus, full_machine):
+        rng = np.random.default_rng(2)
+        tg = TaskGraph.from_edges(
+            5, rng.integers(0, 5, 12), rng.integers(0, 5, 12), rng.uniform(1, 3, 12)
+        )
+        gamma = rng.choice(torus.num_nodes, size=5, replace=False)
+        m = evaluate_mapping(tg, full_machine, gamma)
+        assert weighted_hops(tg, full_machine, gamma) == pytest.approx(m.wh)
+        assert total_hops(tg, full_machine, gamma) == pytest.approx(m.th)
+
+
+class TestPartitionMetrics:
+    def test_evaluate_partition_fields(self):
+        m = cage_like(60, seed=0)
+        h = Hypergraph.from_matrix(m)
+        part = np.arange(60) % 3
+        pm = evaluate_partition(h, part, 3, structure_graph=m.structure_graph())
+        assert pm.tv > 0 and pm.tm > 0
+        assert pm.msv <= pm.tv
+        assert pm.msm <= pm.tm
+        assert pm.edgecut > 0
+
+    def test_edge_cut_counts_once(self):
+        m = cage_like(30, seed=1)
+        g = m.structure_graph()
+        part = np.zeros(30, dtype=np.int64)
+        part[15:] = 1
+        cut = edge_cut(g, part)
+        s, d, w = g.edge_list()
+        manual = w[(part[s] != part[d])].sum() / 2
+        assert cut == pytest.approx(manual)
+
+    def test_imbalance_uniform_perfect(self):
+        loads = np.ones(10)
+        part = np.arange(10) % 2
+        assert imbalance(loads, part, 2) == pytest.approx(0.0)
+
+    def test_imbalance_detects_overload(self):
+        loads = np.ones(10)
+        part = np.zeros(10, dtype=np.int64)
+        part[9] = 1
+        assert imbalance(loads, part, 2) == pytest.approx(0.8)
+
+
+class TestNodeMetrics:
+    def test_on_coarse_graph(self):
+        tg = TaskGraph.from_edges(4, [0, 1, 2], [2, 3, 1], [1.0, 2.0, 4.0])
+        part = np.array([0, 0, 1, 1])
+        coarse = coarse_task_graph(tg, part, 2)
+        nm = evaluate_node_metrics(coarse)
+        assert nm.icv == coarse.total_volume()
+        assert nm.icm == coarse.num_messages
+        assert nm.mnrv == max(coarse.recv_volume())
+
+    def test_empty_coarse(self):
+        tg = TaskGraph.from_edges(2, [0], [1], [1.0])
+        coarse = coarse_task_graph(tg, np.array([0, 0]), 1)
+        nm = evaluate_node_metrics(coarse)
+        assert nm.icv == 0 and nm.icm == 0 and nm.mnrv == 0 and nm.mnrm == 0

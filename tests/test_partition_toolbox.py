@@ -1,0 +1,77 @@
+"""Tests for the seven partitioner personalities."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import cage_like
+from repro.hypergraph.model import Hypergraph
+from repro.metrics.partition import evaluate_partition
+from repro.partition.toolbox import PARTITIONER_NAMES, get_partitioner
+
+
+@pytest.fixture(scope="module")
+def workload():
+    m = cage_like(600, seed=4)
+    return m, Hypergraph.from_matrix(m)
+
+
+class TestRegistry:
+    def test_all_seven_present(self):
+        assert set(PARTITIONER_NAMES) == {
+            "SCOTCH",
+            "KAFFPA",
+            "METIS",
+            "PATOH",
+            "UMPAMM",
+            "UMPAMV",
+            "UMPATM",
+        }
+
+    def test_lookup_case_insensitive(self):
+        assert get_partitioner("patoh").name == "PATOH"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_partitioner("METIS6")
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("name", PARTITIONER_NAMES)
+    def test_valid_partition(self, workload, name):
+        m, h = workload
+        res = get_partitioner(name).partition(m, 8, seed=0, hypergraph=h)
+        assert res.part.shape == (600,)
+        assert res.part.min() >= 0 and res.part.max() < 8
+        assert res.tool == name
+
+    @pytest.mark.parametrize("name", PARTITIONER_NAMES)
+    def test_deterministic(self, workload, name):
+        m, h = workload
+        a = get_partitioner(name).partition(m, 8, seed=3, hypergraph=h).part
+        b = get_partitioner(name).partition(m, 8, seed=3, hypergraph=h).part
+        assert np.array_equal(a, b)
+
+    def test_tools_differ(self, workload):
+        m, h = workload
+        parts = {
+            name: get_partitioner(name).partition(m, 8, seed=0, hypergraph=h).part
+            for name in ("SCOTCH", "PATOH", "UMPAMM")
+        }
+        assert not np.array_equal(parts["SCOTCH"], parts["PATOH"])
+        assert not np.array_equal(parts["PATOH"], parts["UMPAMM"])
+
+    def test_volume_tools_beat_cut_tools_on_tv(self, workload):
+        """PATOH/METIS (TV objective) should beat SCOTCH/KAFFPA on TV."""
+        m, h = workload
+        tvs = {}
+        for name in ("SCOTCH", "KAFFPA", "METIS", "PATOH"):
+            part = get_partitioner(name).partition(m, 16, seed=1, hypergraph=h).part
+            tvs[name] = evaluate_partition(h, part, 16).tv
+        assert min(tvs["METIS"], tvs["PATOH"]) <= min(tvs["SCOTCH"], tvs["KAFFPA"])
+
+    def test_balance_reasonable(self, workload):
+        m, h = workload
+        for name in PARTITIONER_NAMES:
+            part = get_partitioner(name).partition(m, 8, seed=2, hypergraph=h).part
+            pm = evaluate_partition(h, part, 8)
+            assert pm.imbalance < 0.12, f"{name} imbalance {pm.imbalance:.3f}"

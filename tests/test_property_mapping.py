@@ -1,0 +1,83 @@
+"""Property-based tests on the mapping invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.task_graph import TaskGraph
+from repro.mapping.base import wh_of
+from repro.mapping.greedy import greedy_map
+from repro.mapping.refine_mc import MCRefiner
+from repro.mapping.refine_wh import WHRefiner
+from repro.mapping.base import Mapping
+from repro.metrics.mapping import evaluate_mapping
+from repro.topology.machine import Machine
+from repro.topology.torus import Torus3D
+
+
+def build_machine(n_nodes: int, seed: int) -> Machine:
+    torus = Torus3D((4, 4, 3))
+    rng = np.random.default_rng(seed)
+    nodes = rng.choice(torus.num_nodes, size=n_nodes, replace=False)
+    return Machine(torus, nodes.tolist(), procs_per_node=1)
+
+
+def build_tg(n: int, seed: int) -> TaskGraph:
+    rng = np.random.default_rng(seed)
+    m = 4 * n
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    keep = src != dst
+    if not keep.any():
+        return TaskGraph.from_edges(n, [], [], [])
+    return TaskGraph.from_edges(
+        n, src[keep], dst[keep], rng.uniform(0.5, 5.0, keep.sum())
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(4, 12), st.integers(0, 10_000))
+def test_property_greedy_is_injective_and_allocated(n, seed):
+    """Greedy mapping is one-to-one onto allocated nodes, any workload."""
+    machine = build_machine(n, seed % 97)
+    tg = build_tg(n, seed)
+    for nbfs in (0, 1, 2):
+        gamma = greedy_map(tg, machine, nbfs=nbfs)
+        assert np.unique(gamma).shape[0] == n
+        assert machine.alloc_mask()[gamma].all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(5, 10), st.integers(0, 10_000))
+def test_property_wh_refiner_monotone(n, seed):
+    """WH refinement never increases WH and preserves injectivity."""
+    machine = build_machine(n, seed % 89)
+    tg = build_tg(n, seed)
+    rng = np.random.default_rng(seed)
+    gamma0 = rng.permutation(machine.alloc_nodes)[:n]
+    wh0 = wh_of(tg, machine, gamma0)
+    refined = WHRefiner(max_passes=3).refine(tg, Mapping(gamma0.copy(), machine))
+    assert wh_of(tg, machine, refined.gamma) <= wh0 + 1e-9
+    assert np.unique(refined.gamma).shape[0] == n
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(5, 9), st.integers(0, 10_000), st.sampled_from(["volume", "message"]))
+def test_property_mc_refiner_monotone(n, seed, metric):
+    """MC/MMC refinement never worsens its target metric."""
+    machine = build_machine(n, seed % 83)
+    tg = build_tg(n, seed)
+    rng = np.random.default_rng(seed + 1)
+    gamma0 = rng.permutation(machine.alloc_nodes)[:n]
+    field = "mc" if metric == "volume" else "mmc"
+    before = getattr(evaluate_mapping(tg, machine, gamma0), field)
+    # Message mode interprets edge weights as message counts: hand it the
+    # unit-cost view so the tracked maximum is exactly MMC.
+    work = tg if metric == "volume" else tg.unit_cost()
+    refined = MCRefiner(metric=metric, max_swaps=100).refine(
+        work, Mapping(gamma0.copy(), machine)
+    )
+    after = getattr(evaluate_mapping(tg, machine, refined.gamma), field)
+    assert after <= before + 1e-9
+    assert np.unique(refined.gamma).shape[0] == n

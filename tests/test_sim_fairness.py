@@ -1,0 +1,78 @@
+"""Bandwidth-sharing semantics of the flow simulator.
+
+The simulator implements a one-step waterfill per round:
+``rate_f = min over links of bw/n``.  These tests pin down exactly what
+that approximation guarantees (per-link fair shares, isolation of
+disjoint flows, bottleneck domination) and what it deliberately does not
+(slack redistribution, which exact max-min would perform).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.network import FlowSimulator
+from repro.topology.torus import BASE_LATENCY_S, Torus3D
+
+
+@pytest.fixture()
+def torus():
+    return Torus3D((6, 4, 2))
+
+
+def makespan(torus, flows):
+    src = np.array([f[0] for f in flows])
+    dst = np.array([f[1] for f in flows])
+    size = np.array([float(f[2]) for f in flows], dtype=np.float64)
+    return FlowSimulator(torus).simulate(src, dst, size)
+
+
+class TestFairness:
+    def test_disjoint_flow_unaffected_by_contention(self, torus):
+        """A flow on its own links runs at full speed regardless of others."""
+        a, b = torus.node_id(0, 0, 0), torus.node_id(1, 0, 0)
+        c, d = torus.node_id(3, 2, 1), torus.node_id(4, 2, 1)
+        solo = makespan(torus, [(c, d, 1e9)]).finish_times[0]
+        crowd = makespan(
+            torus,
+            [(a, b, 1e9), (a, b, 1e9), (a, b, 1e9), (c, d, 1e9)],
+        ).finish_times[3]
+        assert crowd == pytest.approx(solo, rel=0.05)
+
+    def test_three_way_share(self, torus):
+        """Three equal flows on one link finish in ~3x the solo time."""
+        a, b = torus.node_id(0, 0, 0), torus.node_id(1, 0, 0)
+        solo = makespan(torus, [(a, b, 1e9)]).makespan
+        three = makespan(torus, [(a, b, 1e9)] * 3).makespan
+        assert three == pytest.approx(3 * solo, rel=0.06)
+
+    def test_bottleneck_dominates_route(self, torus):
+        """A two-hop flow is limited by its more congested hop."""
+        a = torus.node_id(0, 0, 0)
+        b = torus.node_id(1, 0, 0)
+        c = torus.node_id(2, 0, 0)
+        # Long flow a->c (links a-b, b-c); competitor on a-b only.
+        res = makespan(torus, [(a, c, 1e9), (a, b, 1e9)])
+        # The long flow shares a-b: its rate is ~bw/2, so it takes ~2x.
+        solo = makespan(torus, [(a, c, 1e9)]).makespan
+        assert res.finish_times[0] >= solo * 1.6
+
+    def test_short_flows_release_capacity(self, torus):
+        """After a short flow finishes, the long one speeds back up."""
+        a, b = torus.node_id(0, 0, 0), torus.node_id(1, 0, 0)
+        long_solo = makespan(torus, [(a, b, 2e9)]).makespan
+        mixed = makespan(torus, [(a, b, 2e9), (a, b, 2e8)])
+        # The long flow pays for sharing only while the short one lives:
+        # total < serialized sum, > its solo time.
+        assert long_solo < mixed.makespan < long_solo + 2 * (2e8 / 9.38e9) + 1e-3
+
+    def test_makespan_monotone_in_flow_count(self, torus):
+        a, b = torus.node_id(0, 0, 0), torus.node_id(1, 0, 0)
+        times = [makespan(torus, [(a, b, 1e9)] * k).makespan for k in (1, 2, 4)]
+        assert times[0] < times[1] < times[2]
+
+    def test_zero_size_flow_is_latency_only(self, torus):
+        a, b = torus.node_id(0, 0, 0), torus.node_id(1, 0, 0)
+        res = makespan(torus, [(a, b, 0.0)])
+        assert res.finish_times[0] == pytest.approx(
+            BASE_LATENCY_S + 0.13e-6, rel=0.2
+        )

@@ -1,0 +1,71 @@
+"""Tests for the directed task graph abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.graph.task_graph import TaskGraph, coarse_task_graph
+
+
+class TestBasics:
+    def test_from_edges_accumulates(self):
+        tg = TaskGraph.from_edges(3, [0, 0], [1, 1], [2.0, 3.0])
+        assert tg.num_messages == 1
+        assert tg.total_volume() == 5.0
+
+    def test_self_loops_removed(self):
+        tg = TaskGraph.from_edges(3, [0, 1], [0, 2], [5.0, 1.0])
+        assert tg.num_messages == 1
+        assert tg.total_volume() == 1.0
+
+    def test_volumes(self, ring_task_graph):
+        tg = ring_task_graph
+        assert np.all(tg.send_volume() == 1.0)
+        assert np.all(tg.recv_volume() == 1.0)
+        assert np.all(tg.send_messages() == 1)
+
+    def test_msrv_task_picks_max_total(self):
+        # task 1 sends 10 and receives 1 -> total 11, the max.
+        tg = TaskGraph.from_edges(3, [1, 0], [2, 1], [10.0, 1.0])
+        assert tg.msrv_task() == 1
+
+    def test_msrv_tie_breaks_low_id(self):
+        tg = TaskGraph.from_edges(4, [0, 2], [1, 3], [5.0, 5.0])
+        assert tg.msrv_task() == 0
+
+    def test_symmetrized_cached(self, random_task_graph):
+        assert random_task_graph.symmetrized() is random_task_graph.symmetrized()
+
+    def test_connectivity(self, ring_task_graph):
+        assert ring_task_graph.is_connected()
+        assert len(set(ring_task_graph.components().tolist())) == 1
+
+
+class TestCoarse:
+    def test_coarse_volumes(self):
+        tg = TaskGraph.from_edges(4, [0, 1, 2], [2, 3, 0], [1.0, 2.0, 4.0])
+        part = np.array([0, 0, 1, 1])
+        coarse = coarse_task_graph(tg, part, 2)
+        # 0->2 crosses (1.0), 1->3 crosses (2.0), 2->0 crosses back (4.0)
+        assert coarse.graph.edge_weight(0, 1) == 3.0
+        assert coarse.graph.edge_weight(1, 0) == 4.0
+
+    def test_coarse_loads_sum(self):
+        tg = TaskGraph.from_edges(
+            4, [0], [1], [1.0], loads=np.array([1.0, 2.0, 3.0, 4.0])
+        )
+        coarse = coarse_task_graph(tg, np.array([0, 1, 0, 1]), 2)
+        assert list(coarse.loads) == [4.0, 6.0]
+
+    def test_intra_group_communication_disappears(self):
+        tg = TaskGraph.from_edges(4, [0, 2], [1, 3], [9.0, 9.0])
+        coarse = coarse_task_graph(tg, np.array([0, 0, 1, 1]), 2)
+        assert coarse.num_messages == 0
+        assert coarse.total_volume() == 0.0
+
+    def test_from_comm_triplets(self):
+        src = np.array([0, 0, 1])
+        dst = np.array([1, 1, 0])
+        vol = np.array([1.0, 1.0, 2.0])
+        tg = TaskGraph.from_comm_triplets(2, (src, dst, vol))
+        assert tg.graph.edge_weight(0, 1) == 2.0
+        assert tg.graph.edge_weight(1, 0) == 2.0

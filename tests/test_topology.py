@@ -1,0 +1,206 @@
+"""Tests for the torus, machine and allocation substrate."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology.allocation import AllocationSpec, SparseAllocator, torus_for_job
+from repro.topology.machine import Machine
+from repro.topology.torus import Torus3D
+
+
+def torus_nx(dims):
+    """networkx reference torus."""
+    g = nx.Graph()
+    nx_, ny, nz = dims
+    for x in range(nx_):
+        for y in range(ny):
+            for z in range(nz):
+                u = x + nx_ * (y + ny * z)
+                for dim, size in enumerate(dims):
+                    if size < 2:
+                        continue
+                    c = [x, y, z]
+                    c[dim] = (c[dim] + 1) % size
+                    v = c[0] + nx_ * (c[1] + ny * c[2])
+                    g.add_edge(u, v)
+    return g
+
+
+class TestTorus:
+    def test_num_nodes_and_diameter(self):
+        t = Torus3D((4, 4, 4))
+        assert t.num_nodes == 64
+        assert t.diameter == 6
+
+    def test_coords_roundtrip(self):
+        t = Torus3D((3, 4, 5))
+        for node in (0, 17, 59):
+            x, y, z = t.coords()[node]
+            assert t.node_id(int(x), int(y), int(z)) == node
+
+    def test_hop_distance_matches_networkx(self):
+        dims = (4, 3, 2)
+        t = Torus3D(dims)
+        ref = dict(nx.all_pairs_shortest_path_length(torus_nx(dims)))
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            u, v = rng.integers(0, t.num_nodes, size=2)
+            assert t.hop_distance(int(u), int(v)) == ref[int(u)][int(v)]
+
+    def test_hop_distance_vectorized(self):
+        t = Torus3D((4, 4, 4))
+        u = np.array([0, 1, 2])
+        v = np.array([63, 62, 61])
+        d = t.hop_distance(u, v)
+        assert d.shape == (3,)
+        assert all(d[i] == t.hop_distance(int(u[i]), int(v[i])) for i in range(3))
+
+    def test_wraparound_shortens(self):
+        t = Torus3D((8, 1, 1))
+        # 0 -> 7 is one wrap hop, not 7.
+        assert t.hop_distance(0, 7) == 1
+
+    def test_link_endpoints_inverse(self):
+        t = Torus3D((3, 3, 3))
+        lids = np.arange(t.num_links)[t.link_valid()]
+        src, dst = t.link_endpoints(lids)
+        assert np.all(t.hop_distance(src, dst) == 1)
+
+    def test_link_bandwidths_by_dimension(self):
+        t = Torus3D((3, 3, 3), bandwidths=(9.0, 4.0, 7.0))
+        bw = t.link_bandwidths()
+        lid_x = t.link_id(0, 0, 0)
+        lid_y = t.link_id(0, 1, 0)
+        lid_z = t.link_id(0, 2, 0)
+        assert bw[lid_x] == 9.0 and bw[lid_y] == 4.0 and bw[lid_z] == 7.0
+
+    def test_size1_dimension_has_no_links(self):
+        t = Torus3D((4, 1, 4))
+        valid = t.link_valid()
+        lids = np.arange(t.num_links)
+        dim = (lids % 6) // 2
+        assert not valid[dim == 1].any()
+
+    def test_graph_structure(self):
+        t = Torus3D((4, 4, 4))
+        g = t.graph()
+        assert g.num_vertices == 64
+        assert np.all(g.out_degree() == 6)
+        assert g.is_connected()
+
+    def test_latency_window(self):
+        t = Torus3D((8, 8, 8))
+        near = float(t.latency(0, 1))
+        far = float(t.latency(0, t.node_id(4, 4, 4)))
+        assert 1.0e-6 < near < 1.5e-6
+        assert 2.0e-6 < far < 4.5e-6
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Torus3D((0, 2, 2))
+        with pytest.raises(ValueError):
+            Torus3D((2, 2, 2), bandwidths=(0.0, 1.0, 1.0))
+
+
+class TestMachine:
+    def test_basic_invariants(self, machine16):
+        assert machine16.num_alloc_nodes == 16
+        assert machine16.total_procs == 16
+        assert machine16.alloc_mask().sum() == 16
+        caps = machine16.node_capacities()
+        assert caps[machine16.alloc_nodes].sum() == 16
+        assert caps.sum() == 16
+
+    def test_alloc_index(self, machine16):
+        idx = machine16.alloc_index()
+        for i, node in enumerate(machine16.alloc_nodes):
+            assert idx[node] == i
+
+    def test_duplicate_nodes_rejected(self, torus444):
+        with pytest.raises(ValueError):
+            Machine(torus444, [1, 1, 2])
+
+    def test_out_of_range_rejected(self, torus444):
+        with pytest.raises(ValueError):
+            Machine(torus444, [0, 999])
+
+    def test_nonuniform_capacities(self, torus444):
+        m = Machine(torus444, [0, 1, 2], procs_per_node=np.array([4, 8, 4]))
+        assert m.total_procs == 16
+        assert not m.uniform_capacity()
+
+
+class TestAllocation:
+    def test_allocates_requested_count(self, torus444):
+        mach = SparseAllocator(torus444).allocate(
+            AllocationSpec(num_nodes=20, procs_per_node=2, fragmentation=0.4, seed=1)
+        )
+        assert mach.num_alloc_nodes == 20
+        assert mach.total_procs == 40
+
+    def test_deterministic(self, torus444):
+        spec = AllocationSpec(num_nodes=10, fragmentation=0.3, seed=9)
+        a = SparseAllocator(torus444).allocate(spec).alloc_nodes
+        b = SparseAllocator(torus444).allocate(spec).alloc_nodes
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self, torus444):
+        a = SparseAllocator(torus444).allocate(
+            AllocationSpec(num_nodes=10, fragmentation=0.3, seed=0)
+        ).alloc_nodes
+        b = SparseAllocator(torus444).allocate(
+            AllocationSpec(num_nodes=10, fragmentation=0.3, seed=1)
+        ).alloc_nodes
+        assert not np.array_equal(a, b)
+
+    def test_zero_fragmentation_is_compact(self, torus444):
+        mach = SparseAllocator(torus444).allocate(
+            AllocationSpec(num_nodes=8, fragmentation=0.0, seed=0)
+        )
+        # Contiguous along the SFC -> small mean pairwise hop distance.
+        nodes = mach.alloc_nodes
+        d = [
+            mach.hop_distance(int(a), int(b))
+            for a in nodes[:4]
+            for b in nodes[:4]
+        ]
+        assert np.mean(d) < 3.0
+
+    def test_fragmentation_spreads_allocation(self):
+        torus = Torus3D((8, 8, 4))
+        compact = SparseAllocator(torus).allocate(
+            AllocationSpec(num_nodes=32, fragmentation=0.0, seed=3)
+        )
+        sparse = SparseAllocator(torus).allocate(
+            AllocationSpec(num_nodes=32, fragmentation=0.6, seed=3)
+        )
+
+        def mean_dist(m):
+            nodes = m.alloc_nodes
+            u = np.repeat(nodes, nodes.shape[0])
+            v = np.tile(nodes, nodes.shape[0])
+            return float(np.mean(m.hop_distance(u, v)))
+
+        assert mean_dist(sparse) > mean_dist(compact)
+
+    def test_too_large_request_raises(self, torus444):
+        with pytest.raises(ValueError):
+            SparseAllocator(torus444).allocate(AllocationSpec(num_nodes=100))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AllocationSpec(num_nodes=0)
+        with pytest.raises(ValueError):
+            AllocationSpec(num_nodes=4, fragmentation=0.95)
+        with pytest.raises(ValueError):
+            AllocationSpec(num_nodes=4, procs_per_node=0)
+
+    def test_torus_for_job_headroom(self):
+        for n in (8, 50, 200):
+            t = torus_for_job(n, headroom=2.0)
+            assert t.num_nodes >= 2 * n
+
+    def test_torus_for_job_rejects_bad(self):
+        with pytest.raises(ValueError):
+            torus_for_job(0)

@@ -1,0 +1,172 @@
+"""Unit + property tests for the addressable heaps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.heap import AddressableMaxHeap, AddressableMinHeap
+
+
+class TestBasics:
+    def test_insert_pop_order(self):
+        h = AddressableMaxHeap()
+        for item, prio in [("a", 1.0), ("b", 3.0), ("c", 2.0)]:
+            h.insert(item, prio)
+        assert h.pop() == ("b", 3.0)
+        assert h.pop() == ("c", 2.0)
+        assert h.pop() == ("a", 1.0)
+        assert len(h) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableMaxHeap().pop()
+
+    def test_peek_does_not_remove(self):
+        h = AddressableMaxHeap()
+        h.insert(1, 5.0)
+        assert h.peek() == (1, 5.0)
+        assert len(h) == 1
+
+    def test_duplicate_insert_raises(self):
+        h = AddressableMaxHeap()
+        h.insert("x", 1.0)
+        with pytest.raises(ValueError):
+            h.insert("x", 2.0)
+
+    def test_contains_and_priority(self):
+        h = AddressableMaxHeap()
+        h.insert("x", 4.5)
+        assert "x" in h and "y" not in h
+        assert h.priority("x") == 4.5
+
+    def test_update_absolute(self):
+        h = AddressableMaxHeap()
+        h.insert("a", 1.0)
+        h.insert("b", 2.0)
+        h.update("a", 10.0)
+        assert h.pop() == ("a", 10.0)
+
+    def test_update_inserts_when_absent(self):
+        h = AddressableMaxHeap()
+        h.update("new", 3.0)
+        assert h.pop() == ("new", 3.0)
+
+    def test_increase_accumulates(self):
+        h = AddressableMaxHeap()
+        h.increase("t", 2.0)
+        h.increase("t", 3.5)
+        assert h.priority("t") == pytest.approx(5.5)
+
+    def test_remove(self):
+        h = AddressableMaxHeap()
+        h.insert("a", 1.0)
+        h.insert("b", 2.0)
+        assert h.remove("a") == 1.0
+        assert "a" not in h and len(h) == 1
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            AddressableMaxHeap().remove("ghost")
+
+    def test_tie_break_is_fifo(self):
+        h = AddressableMaxHeap()
+        h.insert("first", 1.0)
+        h.insert("second", 1.0)
+        assert h.pop()[0] == "first"
+
+    def test_clear(self):
+        h = AddressableMaxHeap()
+        h.insert(1, 1.0)
+        h.clear()
+        assert len(h) == 0 and 1 not in h
+
+    def test_items_snapshot(self):
+        h = AddressableMaxHeap()
+        h.insert("a", 1.0)
+        h.insert("b", 2.0)
+        assert dict(h.items()) == {"a": 1.0, "b": 2.0}
+
+    def test_iter(self):
+        h = AddressableMaxHeap()
+        for i in range(5):
+            h.insert(i, float(i))
+        assert sorted(h) == list(range(5))
+
+
+class TestMinHeap:
+    def test_min_order(self):
+        h = AddressableMinHeap()
+        for item, prio in [("a", 3.0), ("b", 1.0), ("c", 2.0)]:
+            h.insert(item, prio)
+        assert h.pop() == ("b", 1.0)
+        assert h.peek() == ("c", 2.0)
+        assert h.priority("a") == 3.0
+
+    def test_update_and_remove(self):
+        h = AddressableMinHeap()
+        h.insert("x", 5.0)
+        h.update("x", 0.5)
+        assert h.peek() == ("x", 0.5)
+        assert h.remove("x") == 0.5
+        assert h.validate()
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 30), st.floats(-1e6, 1e6)), max_size=60))
+def test_property_heapsort_matches_sorted(ops):
+    """Inserting unique items then popping yields descending priorities."""
+    h = AddressableMaxHeap()
+    expect = {}
+    for item, prio in ops:
+        if item in expect:
+            h.update(item, prio)
+        else:
+            h.insert(item, prio)
+        expect[item] = prio
+    assert h.validate()
+    out = []
+    while h:
+        out.append(h.pop()[1])
+    assert out == sorted(expect.values(), reverse=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "update", "increase", "remove", "pop"]),
+            st.integers(0, 12),
+            st.floats(-100, 100),
+        ),
+        max_size=80,
+    )
+)
+def test_property_mixed_ops_keep_invariants(ops):
+    """Arbitrary op sequences keep the heap/position invariants intact."""
+    h = AddressableMaxHeap()
+    mirror = {}
+    for op, item, prio in ops:
+        if op == "insert":
+            if item not in mirror:
+                h.insert(item, prio)
+                mirror[item] = prio
+        elif op == "update":
+            h.update(item, prio)
+            mirror[item] = prio
+        elif op == "increase":
+            h.increase(item, prio)
+            mirror[item] = mirror.get(item, 0.0) + prio
+        elif op == "remove":
+            if item in mirror:
+                h.remove(item)
+                del mirror[item]
+        elif op == "pop":
+            if mirror:
+                popped, p = h.pop()
+                assert p == pytest.approx(max(mirror.values()))
+                del mirror[popped]
+    assert h.validate()
+    assert len(h) == len(mirror)
+    for item, prio in mirror.items():
+        assert h.priority(item) == pytest.approx(prio)

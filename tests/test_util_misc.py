@@ -1,0 +1,141 @@
+"""Tests for rng, sfc, validation and timing utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import mix_seed, seeded_rng, spawn_seeds
+from repro.util.sfc import hilbert2d_order, sfc_node_order, snake3d_order
+from repro.util.timing import Timer
+from repro.util.validation import (
+    check_array_1d,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestRng:
+    def test_seeded_rng_deterministic(self):
+        a = seeded_rng(42).random(5)
+        b = seeded_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_seeded_rng_passthrough(self):
+        g = np.random.default_rng(1)
+        assert seeded_rng(g) is g
+
+    def test_spawn_seeds_distinct(self):
+        seeds = spawn_seeds(7, 50)
+        assert len(set(seeds)) == 50
+
+    def test_spawn_seeds_salt_families_differ(self):
+        assert spawn_seeds(7, 5, salt=1) != spawn_seeds(7, 5, salt=2)
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_mix_seed_sensitive_to_both_args(self):
+        assert mix_seed(1, 2) != mix_seed(2, 1)
+        assert mix_seed(1, 1) != mix_seed(1, 2)
+
+
+class TestSfc:
+    @pytest.mark.parametrize("dims", [(2, 2, 2), (3, 4, 5), (1, 1, 7), (4, 4, 1)])
+    def test_snake_is_permutation(self, dims):
+        order = snake3d_order(dims)
+        n = dims[0] * dims[1] * dims[2]
+        assert sorted(order.tolist()) == list(range(n))
+
+    def test_snake_consecutive_adjacent(self):
+        dims = (4, 3, 2)
+        order = snake3d_order(dims)
+        nx, ny, _ = dims
+        for a, b in zip(order[:-1], order[1:]):
+            ca = np.array([a % nx, (a // nx) % ny, a // (nx * ny)])
+            cb = np.array([b % nx, (b // nx) % ny, b // (nx * ny)])
+            assert np.abs(ca - cb).sum() == 1
+
+    def test_snake_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            snake3d_order((0, 2, 2))
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_hilbert_is_permutation(self, k):
+        order = hilbert2d_order(k)
+        assert sorted(order.tolist()) == list(range(4**k))
+
+    def test_hilbert_consecutive_adjacent(self):
+        k = 3
+        n = 1 << k
+        order = hilbert2d_order(k)
+        for a, b in zip(order[:-1], order[1:]):
+            ax, ay = a % n, a // n
+            bx, by = b % n, b // n
+            assert abs(ax - bx) + abs(ay - by) == 1
+
+    def test_hilbert_negative_raises(self):
+        with pytest.raises(ValueError):
+            hilbert2d_order(-1)
+
+    @pytest.mark.parametrize("dims", [(4, 4, 4), (8, 8, 3), (3, 5, 2)])
+    def test_sfc_node_order_permutation(self, dims):
+        order = sfc_node_order(dims)
+        assert sorted(order.tolist()) == list(range(dims[0] * dims[1] * dims[2]))
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1.0)
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+
+    def test_check_nonnegative(self):
+        check_nonnegative("x", 0.0)
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1e-9)
+
+    def test_check_in_range(self):
+        check_in_range("x", 0.5, 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range("x", 2, 0, 1)
+
+    def test_check_probability(self):
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_array_1d(self):
+        out = check_array_1d("a", [1, 2, 3], length=3, dtype=np.float64)
+        assert out.dtype == np.float64
+        with pytest.raises(ValueError):
+            check_array_1d("a", [[1, 2]])
+        with pytest.raises(ValueError):
+            check_array_1d("a", [1, 2], length=3)
+
+    def test_check_same_length(self):
+        check_same_length(["a", "b"], [[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            check_same_length(["a", "b"], [[1], [1, 2]])
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        t = Timer()
+        with t:
+            sum(range(100))
+        with t:
+            sum(range(100))
+        assert len(t.laps) == 2
+        assert t.elapsed == pytest.approx(sum(t.laps))
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0 and t.laps == []

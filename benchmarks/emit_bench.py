@@ -1,0 +1,84 @@
+"""Emit a perf snapshot (``BENCH_<n>.json``) of per-algorithm map times.
+
+Runs the Figure 3 harness sweep (the Figure 2 runs carry the timing
+data) on the profile selected by ``REPRO_PROFILE`` (default ``ci``) and
+writes geometric-mean mapping times per algorithm — overall and per
+processor count — so the repo's performance trajectory is tracked commit
+over commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py [output.json]
+
+The default output name is ``BENCH_<n>.json`` in the repository root,
+where ``<n>`` is one past the highest existing snapshot index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import sys
+
+from repro.analysis.stats import geometric_mean
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.harness import WorkloadCache
+from repro.experiments.profiles import profile_from_env
+from repro.mapping.pipeline import MAPPER_NAMES
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def next_snapshot_path() -> str:
+    taken = [
+        int(m.group(1))
+        for name in os.listdir(REPO_ROOT)
+        if (m := re.fullmatch(r"BENCH_(\d+)\.json", name))
+    ]
+    return os.path.join(REPO_ROOT, f"BENCH_{max(taken, default=0) + 1}.json")
+
+
+def main(argv) -> str:
+    out_path = argv[1] if len(argv) > 1 else next_snapshot_path()
+    # Fail on an unwritable destination *before* the minutes-long sweep,
+    # without leaving a stray empty snapshot behind if the sweep dies.
+    existed = os.path.exists(out_path)
+    with open(out_path, "a"):
+        pass
+    try:
+        profile = profile_from_env(default="ci")
+        cache = WorkloadCache(profile)
+        result = run_fig2(profile, cache)
+    except BaseException:
+        if not existed:
+            os.unlink(out_path)
+        raise
+
+    per_procs = {
+        str(procs): {a: result.times[(procs, a)] for a in MAPPER_NAMES}
+        for procs in result.proc_counts
+    }
+    overall = {
+        a: geometric_mean([result.times[(p, a)] for p in result.proc_counts])
+        for a in MAPPER_NAMES
+    }
+    snapshot = {
+        "profile": profile.name,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "geo_mean_map_time_s": overall,
+        "geo_mean_map_time_s_by_procs": per_procs,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(snapshot, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+    for a in MAPPER_NAMES:
+        print(f"  {a:>5s}: {overall[a] * 1e3:8.2f} ms")
+    return out_path
+
+
+if __name__ == "__main__":
+    main(sys.argv)

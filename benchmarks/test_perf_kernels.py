@@ -1,0 +1,113 @@
+"""Microbenchmarks for the vectorized kernel layer.
+
+Tracks the primitives the mapping hot paths are built from:
+
+* hop-table lookup (``pairwise_hops`` / ``cross_hops``) vs the
+  coordinate-formula ``Torus3D.hop_distance``;
+* one vectorized ``expand_frontier`` BFS level on the torus graph;
+* one ``batched_swap_gains`` call (Δ=8 candidates) vs Δ scalar
+  ``_swap_gain`` invocations.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_perf_kernels.py``;
+pytest-benchmark prints the comparison table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import expand_frontier
+from repro.graph.task_graph import TaskGraph
+from repro.kernels import HopTable, batched_swap_gains, hop_table_for
+from repro.mapping.refine_wh import _swap_gain, _task_whops
+from repro.topology.torus import Torus3D
+
+N_PAIRS = 10_000
+
+
+@pytest.fixture(scope="module")
+def torus():
+    return Torus3D((12, 10, 8))  # 960 nodes, Hopper-job scale
+
+
+@pytest.fixture(scope="module")
+def pairs(torus):
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, torus.num_nodes, size=N_PAIRS)
+    b = rng.integers(0, torus.num_nodes, size=N_PAIRS)
+    return a, b
+
+
+def test_hop_formula_baseline(benchmark, torus, pairs):
+    a, b = pairs
+    benchmark(lambda: torus.hop_distance(a, b))
+
+
+def test_hop_table_pairwise(benchmark, torus, pairs):
+    a, b = pairs
+    table = hop_table_for(torus)
+    assert table.has_matrix
+    benchmark(lambda: table.pairwise_hops(a, b))
+
+
+def test_hop_table_ring_fallback(benchmark, torus, pairs):
+    a, b = pairs
+    table = HopTable(torus, matrix_max_nodes=0)
+    benchmark(lambda: table.pairwise_hops(a, b))
+
+
+def test_hop_table_cross(benchmark, torus):
+    rng = np.random.default_rng(9)
+    cands = rng.integers(0, torus.num_nodes, size=100)
+    nbrs = rng.integers(0, torus.num_nodes, size=100)
+    table = hop_table_for(torus)
+    benchmark(lambda: table.cross_hops(cands, nbrs))
+
+
+def test_frontier_expansion(benchmark, torus):
+    gm = torus.graph()
+    assert gm.padded_neighbors() is not None
+    frontier0 = np.arange(0, torus.num_nodes, 97, dtype=np.int64)
+
+    def one_level():
+        seen = np.zeros(gm.num_vertices, dtype=bool)
+        seen[frontier0] = True
+        return expand_frontier(gm, frontier0, seen)
+
+    out = benchmark(one_level)
+    assert out.size > 0
+
+
+@pytest.fixture(scope="module")
+def swap_workload(torus):
+    rng = np.random.default_rng(11)
+    n = 256
+    src = rng.integers(0, n, size=2500)
+    dst = rng.integers(0, n, size=2500)
+    keep = src != dst
+    vol = rng.integers(1, 20, size=2500).astype(np.float64)
+    tg = TaskGraph.from_edges(n, src[keep], dst[keep], vol[keep])
+    gamma = rng.choice(torus.num_nodes, size=n, replace=False).astype(np.int64)
+    partners = np.asarray([3, 17, 42, 88, 101, 150, 199, 230], dtype=np.int64)
+    return tg.symmetrized(), gamma, partners
+
+
+def test_swap_gain_scalar_baseline(benchmark, torus, swap_workload):
+    sym, gamma, partners = swap_workload
+
+    def scalar():
+        return [_swap_gain(0, int(t), sym, torus, gamma) for t in partners]
+
+    benchmark(scalar)
+
+
+def test_swap_gain_batched(benchmark, torus, swap_workload):
+    sym, gamma, partners = swap_workload
+    table = hop_table_for(torus)
+    whops0 = _task_whops(0, sym, torus, gamma)
+
+    def batched():
+        return batched_swap_gains(sym, table, gamma, 0, partners, whops_t1=whops0)
+
+    got = benchmark(batched)
+    want = [_swap_gain(0, int(t), sym, torus, gamma) for t in partners]
+    np.testing.assert_allclose(got, want, rtol=0, atol=1e-9)

@@ -1,0 +1,29 @@
+"""Vectorized hot-path kernels shared by the mapping algorithms.
+
+The mappers' inner loops — hop-distance lookups, BFS frontier sweeps,
+swap-gain evaluation — live here as batched NumPy kernels so the
+algorithm modules stay readable while the arithmetic stays in contiguous
+arrays.  Everything in this package is *behaviour-preserving*: the
+kernels reproduce the scalar reference paths bit for bit (see
+``tests/test_kernels.py`` and ``tests/test_kernels_golden.py``).
+"""
+
+from repro.kernels.hoptable import DEFAULT_MATRIX_MAX_NODES, HopTable, hop_table_for
+from repro.kernels.swapgain import (
+    all_task_whops,
+    batched_swap_gains,
+    refresh_whops_around,
+    task_whops_many,
+    total_weighted_hops,
+)
+
+__all__ = [
+    "DEFAULT_MATRIX_MAX_NODES",
+    "HopTable",
+    "hop_table_for",
+    "all_task_whops",
+    "batched_swap_gains",
+    "refresh_whops_around",
+    "task_whops_many",
+    "total_weighted_hops",
+]

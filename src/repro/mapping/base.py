@@ -93,7 +93,7 @@ def group_targets(machine: Machine) -> np.ndarray:
 
 def wh_of(task_graph: TaskGraph, machine: Machine, gamma: np.ndarray) -> float:
     """Weighted hops of a coarse mapping (no routing pass needed)."""
-    src, dst, vol = task_graph.graph.edge_list()
+    from repro.kernels import hop_table_for, total_weighted_hops
+
     g = np.asarray(gamma, dtype=np.int64)
-    hops = machine.torus.hop_distance(g[src], g[dst])
-    return float((hops * vol).sum())
+    return total_weighted_hops(task_graph.graph, hop_table_for(machine.torus), g)

@@ -2,9 +2,14 @@
 
 Both Algorithm 2 and Algorithm 3 search swap partners "for the first Δ
 nodes m ∈ Va visited in the order of the BFS from Γ[nghbor(t)]".  The
-helper below yields torus nodes level by level (sources first), sorting
+helpers below surface torus nodes level by level (sources first), sorted
 within a level by node id so runs are deterministic; callers apply their
 own filters (allocation membership, hosting a task, Δ budget).
+
+The frontier sweep is the shared vectorized
+:func:`repro.graph.csr.expand_frontier` kernel — consumers that stop
+after Δ candidates never pay for a full traversal because the generators
+are lazy per level.
 """
 
 from __future__ import annotations
@@ -13,17 +18,16 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, expand_frontier
 
-__all__ = ["bfs_nodes"]
+__all__ = ["bfs_nodes", "bfs_node_levels"]
 
 
-def bfs_nodes(gm: CSRGraph, seeds: Sequence[int]) -> Iterator[int]:
-    """Yield node ids of ``Gm`` in BFS order from *seeds* (level 0 first).
+def bfs_node_levels(gm: CSRGraph, seeds: Sequence[int]) -> Iterator[np.ndarray]:
+    """Yield the BFS levels of ``Gm`` from *seeds* as sorted id arrays.
 
-    The traversal is lazy: consumers that stop after Δ candidates never
-    pay for the full sweep — the early-exit mechanism both algorithms
-    rely on for their practical running time.
+    Level 0 is the (deduplicated) seed set itself.  Vectorized callers
+    filter whole levels at once instead of testing nodes one by one.
     """
     n = gm.num_vertices
     seen = np.zeros(n, dtype=bool)
@@ -32,12 +36,12 @@ def bfs_nodes(gm: CSRGraph, seeds: Sequence[int]) -> Iterator[int]:
         return
     seen[frontier] = True
     while frontier.size:
-        for m in frontier.tolist():
+        yield frontier
+        frontier = expand_frontier(gm, frontier, seen)
+
+
+def bfs_nodes(gm: CSRGraph, seeds: Sequence[int]) -> Iterator[int]:
+    """Yield node ids of ``Gm`` in BFS order from *seeds* (level 0 first)."""
+    for level in bfs_node_levels(gm, seeds):
+        for m in level.tolist():
             yield int(m)
-        nxt = []
-        for v in frontier.tolist():
-            for u in gm.neighbors(v).tolist():
-                if not seen[u]:
-                    seen[u] = True
-                    nxt.append(u)
-        frontier = np.asarray(sorted(set(nxt)), dtype=np.int64)

@@ -22,15 +22,17 @@ one, exactly as the paper's implementation does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.task_graph import TaskGraph
+from repro.kernels import HopTable, hop_table_for
 from repro.mapping.base import Mapping, validate_mapping, wh_of
+from repro.mapping.bfs import bfs_node_levels
 from repro.topology.machine import Machine
-from repro.util.heap import AddressableMaxHeap
+from repro.util.heap import IntKeyMaxHeap
 
 __all__ = ["GreedyMapper"]
 
@@ -71,29 +73,36 @@ def greedy_map(task_graph: TaskGraph, machine: Machine, *, nbfs: int = 0) -> np.
     weights = task_graph.loads
     caps = machine.node_capacities().astype(np.float64)
     free = caps.copy()
-    torus = machine.torus
     gm = machine.graph()
+    # Hoisted out of the per-task placement loop: allocation membership
+    # and the hop table are placement-invariant.
     alloc_mask = machine.alloc_mask()
+    table = hop_table_for(machine.torus)
 
     gamma = np.full(n_tasks, -1, dtype=np.int64)
     mapped_mask = np.zeros(n_tasks, dtype=bool)
     total_vol = task_graph.send_volume() + task_graph.recv_volume()
-    conn = AddressableMaxHeap()
+    conn = IntKeyMaxHeap(n_tasks)
 
-    def node_has_room(node: int, task: int) -> bool:
-        return free[node] >= weights[task] - 1e-9
+    # With uniform group weights the "has room" mask is task-independent
+    # and only the placed node can change — maintain it incrementally.
+    uniform_w = n_tasks > 0 and bool(np.all(weights == weights[0]))
+    room = alloc_mask & (free >= weights[0] - 1e-9) if uniform_w else None
 
     def place(task: int, node: int) -> None:
         gamma[task] = node
         mapped_mask[task] = True
         free[node] -= weights[task]
+        if room is not None:
+            room[node] = alloc_mask[node] and free[node] >= weights[0] - 1e-9
         if task in conn:
             conn.remove(task)
+        nbrs = sym.neighbors(task)
+        keep = ~mapped_mask[nbrs]
         for u, c in zip(
-            sym.neighbors(task).tolist(), sym.neighbor_weights(task).tolist()
+            nbrs[keep].tolist(), sym.neighbor_weights(task)[keep].tolist()
         ):
-            if not mapped_mask[u]:
-                conn.increase(u, c)
+            conn.increase(u, c)
 
     # ------------------------------------------------------------------
     # Non-uniform capacities: groups whose weight differs from the common
@@ -117,7 +126,9 @@ def greedy_map(task_graph: TaskGraph, machine: Machine, *, nbfs: int = 0) -> np.
     place(t0, m0)
 
     for t in order_first:
-        node = _get_best_node(t, task_graph, sym, machine, gm, gamma, mapped_mask, free)
+        node = _get_best_node(
+            t, task_graph, sym, gm, gamma, mapped_mask, free, alloc_mask, table, room
+        )
         place(t, node)
 
     seeds_placed = 0
@@ -137,7 +148,7 @@ def greedy_map(task_graph: TaskGraph, machine: Machine, *, nbfs: int = 0) -> np.
                 rest = np.flatnonzero(~mapped_mask)
                 tbest = int(rest[np.argmax(total_vol[rest])])
         node = _get_best_node(
-            tbest, task_graph, sym, machine, gm, gamma, mapped_mask, free
+            tbest, task_graph, sym, gm, gamma, mapped_mask, free, alloc_mask, table, room
         )
         place(tbest, node)
 
@@ -147,10 +158,11 @@ def greedy_map(task_graph: TaskGraph, machine: Machine, *, nbfs: int = 0) -> np.
 
 def _first_fitting_node(machine: Machine, free: np.ndarray, weight: float) -> int:
     """First allocated node (allocation order) with room for *weight*."""
-    for node in machine.alloc_nodes.tolist():
-        if free[node] >= weight - 1e-9:
-            return int(node)
-    raise ValueError("no allocated node can host the first task group")
+    nodes = machine.alloc_nodes
+    fits = np.flatnonzero(free[nodes] >= weight - 1e-9)
+    if fits.size == 0:
+        raise ValueError("no allocated node can host the first task group")
+    return int(nodes[fits[0]])
 
 
 def _farthest_task(sym: CSRGraph, mapped_mask: np.ndarray, total_vol: np.ndarray) -> int:
@@ -178,11 +190,13 @@ def _get_best_node(
     task: int,
     task_graph: TaskGraph,
     sym: CSRGraph,
-    machine: Machine,
     gm: CSRGraph,
     gamma: np.ndarray,
     mapped_mask: np.ndarray,
     free: np.ndarray,
+    alloc_mask: np.ndarray,
+    table: HopTable,
+    room: Optional[np.ndarray] = None,
 ) -> int:
     """GETBESTNODE of Algorithm 1 (with the early-exit BFS).
 
@@ -196,17 +210,13 @@ def _get_best_node(
     nbrs = sym.neighbors(task)
     nbr_w = sym.neighbor_weights(task)
     mapped_nbrs = nbrs[mapped_mask[nbrs]]
-    torus = machine.torus
+
+    alloc_ok = room if room is not None else alloc_mask & (free >= weight - 1e-9)
 
     if mapped_nbrs.size == 0:
         occupied = np.unique(gamma[gamma >= 0])
         level = gm.bfs_levels(occupied.tolist())
-        ok = (
-            machine.alloc_mask()
-            & (free >= weight - 1e-9)
-            & (level >= 0)
-        )
-        cand = np.flatnonzero(ok)
+        cand = np.flatnonzero(alloc_ok & (level >= 0))
         if cand.size == 0:
             # Allocation unreachable through the torus graph cannot happen
             # (the torus is connected); room must exist by construction.
@@ -219,28 +229,12 @@ def _get_best_node(
     seeds = np.unique(gamma[mapped_nbrs])
     mapped_nbr_nodes = gamma[mapped_nbrs]
     costs = nbr_w[mapped_mask[nbrs]]
-    alloc_ok = machine.alloc_mask() & (free >= weight - 1e-9)
 
-    n_nodes = gm.num_vertices
-    seen = np.zeros(n_nodes, dtype=bool)
-    frontier = seeds.astype(np.int64)
-    seen[frontier] = True
-    while frontier.size:
-        cands = frontier[alloc_ok[frontier]]
+    for level in bfs_node_levels(gm, seeds):
+        cands = level[alloc_ok[level]]
         if cands.size:
             # Minimum WH overhead among this level's candidates.
-            hops = torus.hop_distance(
-                np.repeat(cands, mapped_nbr_nodes.shape[0]),
-                np.tile(mapped_nbr_nodes, cands.shape[0]),
-            ).reshape(cands.shape[0], -1)
-            overhead = hops @ costs
+            overhead = table.cross_hops(cands, mapped_nbr_nodes) @ costs
             best = np.flatnonzero(overhead == overhead.min())
             return int(cands[best].min())
-        nxt = []
-        for v in frontier.tolist():
-            for u in gm.neighbors(v).tolist():
-                if not seen[u]:
-                    seen[u] = True
-                    nxt.append(u)
-        frontier = np.unique(np.asarray(nxt, dtype=np.int64))
     raise ValueError("BFS exhausted the machine without finding a free node")

@@ -24,19 +24,23 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.graph.task_graph import TaskGraph
-from repro.mapping.bfs import bfs_nodes
+from repro.kernels import (
+    all_task_whops,
+    hop_table_for,
+    refresh_whops_around,
+    total_weighted_hops,
+)
+from repro.mapping.bfs import bfs_node_levels
 from repro.topology.machine import Machine
-from repro.util.heap import AddressableMaxHeap
+from repro.util.heap import IntKeyMaxHeap
 
 __all__ = ["FineWHRefiner", "fine_wh_of", "internode_volume"]
 
 
 def fine_wh_of(task_graph: TaskGraph, machine: Machine, fine_gamma: np.ndarray) -> float:
     """WH of a rank-level mapping (counts each directed edge once)."""
-    src, dst, vol = task_graph.graph.edge_list()
     g = np.asarray(fine_gamma, dtype=np.int64)
-    hops = machine.torus.hop_distance(g[src], g[dst])
-    return float((hops * vol).sum())
+    return total_weighted_hops(task_graph.graph, hop_table_for(machine.torus), g)
 
 
 def internode_volume(task_graph: TaskGraph, fine_gamma: np.ndarray) -> float:
@@ -67,7 +71,7 @@ class FineWHRefiner:
         """Return an improved copy of the rank→node mapping."""
         gamma = np.asarray(fine_gamma, dtype=np.int64).copy()
         sym = task_graph.symmetrized()
-        torus = machine.torus
+        table = hop_table_for(machine.torus)
         gm = machine.graph()
         alloc_mask = machine.alloc_mask()
         n = task_graph.num_tasks
@@ -83,15 +87,13 @@ class FineWHRefiner:
 
         for _ in range(self.max_passes):
             pass_start = wh
-            heap = AddressableMaxHeap()
-            for t in range(n):
-                heap.insert(t, _rank_whops(t, sym, torus, gamma))
+            heap = IntKeyMaxHeap.from_priorities(all_task_whops(sym, table, gamma))
             while heap:
                 twh, contrib = heap.pop()
                 if contrib <= 0:
                     continue  # nothing to gain from a zero-WH rank
                 gain = self._try_swap(
-                    twh, sym, torus, gm, alloc_mask, gamma, hosted, heap
+                    twh, sym, table, gm, alloc_mask, gamma, hosted, heap
                 )
                 wh -= gain
             if pass_start <= 0 or (pass_start - wh) / pass_start <= self.min_gain:
@@ -99,49 +101,43 @@ class FineWHRefiner:
         return gamma
 
     # ------------------------------------------------------------------
-    def _try_swap(self, twh, sym, torus, gm, alloc_mask, gamma, hosted, heap) -> float:
+    def _try_swap(self, twh, sym, table, gm, alloc_mask, gamma, hosted, heap) -> float:
         nbrs = sym.neighbors(twh)
         if nbrs.size == 0:
             return 0.0
         na = int(gamma[twh])
         seeds = np.unique(gamma[nbrs])
         checked = 0
-        for node in bfs_nodes(gm, seeds.tolist()):
-            if checked >= self.delta:
-                break
-            if not alloc_mask[node] or node == na:
-                continue
-            for t in list(hosted.get(node, ())):
-                if checked >= self.delta:
-                    break
-                checked += 1
-                gain = _fine_swap_gain(twh, t, sym, torus, gamma)
-                if gain > 1e-12:
-                    nb = int(gamma[t])
-                    gamma[twh] = nb
-                    gamma[t] = na
-                    hosted[na].remove(twh)
-                    hosted[nb].remove(t)
-                    hosted[na].append(t)
-                    hosted[nb].append(twh)
-                    for u in set(sym.neighbors(twh).tolist()) | set(
-                        sym.neighbors(t).tolist()
-                    ) | {twh, t}:
-                        if u in heap:
-                            heap.update(u, _rank_whops(u, sym, torus, gamma))
-                    return gain
+        for level in bfs_node_levels(gm, seeds.tolist()):
+            eligible = level[alloc_mask[level] & (level != na)]
+            for node in eligible.tolist():
+                for t in list(hosted.get(node, ())):
+                    if checked >= self.delta:
+                        return 0.0
+                    checked += 1
+                    gain = _fine_swap_gain(twh, t, sym, table, gamma)
+                    if gain > 1e-12:
+                        nb = int(gamma[t])
+                        gamma[twh] = nb
+                        gamma[t] = na
+                        hosted[na].remove(twh)
+                        hosted[nb].remove(t)
+                        hosted[na].append(t)
+                        hosted[nb].append(twh)
+                        refresh_whops_around(heap, sym, table, gamma, (twh, t))
+                        return gain
         return 0.0
 
 
-def _rank_whops(t: int, sym, torus, gamma: np.ndarray) -> float:
+def _rank_whops(t: int, sym, table, gamma: np.ndarray) -> float:
     nbrs = sym.neighbors(t)
     if nbrs.size == 0:
         return 0.0
-    hops = torus.hop_distance(np.full(nbrs.shape[0], gamma[t]), gamma[nbrs])
+    hops = table.hops_to_many(int(gamma[t]), gamma[nbrs])
     return float((hops * sym.neighbor_weights(t)).sum())
 
 
-def _fine_swap_gain(t1: int, t2: int, sym, torus, gamma: np.ndarray) -> float:
+def _fine_swap_gain(t1: int, t2: int, sym, table, gamma: np.ndarray) -> float:
     """Exact symmetric-WH change of swapping the two ranks' nodes."""
     n1, n2 = int(gamma[t1]), int(gamma[t2])
     if n1 == n2:
@@ -154,7 +150,7 @@ def _fine_swap_gain(t1: int, t2: int, sym, torus, gamma: np.ndarray) -> float:
         kept = nbrs[keep]
         if kept.size == 0:
             return 0.0
-        hops = torus.hop_distance(np.full(kept.shape[0], node), gamma[kept])
+        hops = table.hops_to_many(node, gamma[kept])
         return float((hops * w[keep]).sum())
 
     before = cost(t1, n1, t2) + cost(t2, n2, t1)

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.graph.task_graph import TaskGraph
 from repro.mapping.base import Mapping, validate_mapping
-from repro.mapping.bfs import bfs_nodes
+from repro.mapping.bfs import bfs_node_levels
 from repro.topology.machine import Machine
 from repro.topology.routing import routes_bulk
 
@@ -119,24 +119,31 @@ class MCRefiner:
         gm,
         alloc_mask: np.ndarray,
     ) -> Optional[int]:
-        """First MC/AC-improving partner among ≤Δ BFS-ordered candidates."""
+        """First MC/AC-improving partner among ≤Δ BFS-ordered candidates.
+
+        Eligibility is filtered per BFS level in one vectorized shot; the
+        surviving candidates are probed one by one (``swap_improves`` is
+        the expensive part, and the first improving partner wins) until
+        the Δ budget is spent.
+        """
         nbrs = sym.neighbors(tmc)
         if nbrs.size == 0:
             return None
         seeds = np.unique(state.gamma[nbrs])
-        na = int(state.gamma[tmc])
+        w_tmc = weights[tmc]
         checked = 0
-        for m in bfs_nodes(gm, seeds.tolist()):
-            if checked >= self.delta:
-                break
-            if not alloc_mask[m] or m == na:
-                continue
-            t = int(state.host[m])
-            if t < 0 or t == tmc or weights[t] != weights[tmc]:
-                continue
-            checked += 1
-            if state.swap_improves(tmc, t):
-                return t
+        for level in bfs_node_levels(gm, seeds.tolist()):
+            hosts = state.host[level]
+            # host[Γ[tmc]] == tmc subsumes the scalar "skip our own node".
+            ok = alloc_mask[level] & (hosts >= 0) & (hosts != tmc)
+            cand = hosts[ok]
+            cand = cand[weights[cand] == w_tmc]
+            for t in cand.tolist():
+                if checked >= self.delta:
+                    return None
+                checked += 1
+                if state.swap_improves(tmc, int(t)):
+                    return int(t)
         return None
 
 

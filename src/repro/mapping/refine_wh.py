@@ -17,19 +17,35 @@ Kernighan–Lin-type *swap* refinement of a one-to-one group↔node mapping:
 Swaps are restricted to equal-weight task groups (with uniform
 processors-per-node every group weighs the same, so this is vacuous in
 the paper's setting but keeps heterogeneous configurations feasible).
+
+Hot-path layout (behaviour-identical to the scalar reference, pinned by
+the golden-equivalence tests): the ≤Δ BFS-ordered candidates of a popped
+task are collected level by level with the vectorized
+:func:`repro.graph.csr.expand_frontier` kernel and scored in **one**
+:func:`repro.kernels.batched_swap_gains` call; per-task ``TASKWHOPS``
+rows are cached in a flat array and refreshed only around committed
+swaps, feeding both the bulk ``whHeap`` build of each pass and the
+post-swap heap updates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List
 
 import numpy as np
 
+from repro.graph.csr import expand_frontier
 from repro.graph.task_graph import TaskGraph
+from repro.kernels import (
+    all_task_whops,
+    batched_swap_gains,
+    hop_table_for,
+    refresh_whops_around,
+)
 from repro.mapping.base import Mapping, validate_mapping, wh_of
 from repro.topology.machine import Machine
-from repro.util.heap import AddressableMaxHeap
+from repro.util.heap import IntKeyMaxHeap
 
 __all__ = ["WHRefiner"]
 
@@ -50,26 +66,42 @@ class WHRefiner:
         machine = mapping.machine
         sym = task_graph.symmetrized()
         weights = task_graph.loads
-        torus = machine.torus
         gm = machine.graph()
+        table = hop_table_for(machine.torus)
+        alloc_mask = machine.alloc_mask()
 
         # task currently hosted by each node (one-to-one at group level).
-        host = np.full(torus.num_nodes, -1, dtype=np.int64)
+        host = np.full(machine.torus.num_nodes, -1, dtype=np.int64)
         host[gamma] = np.arange(task_graph.num_tasks)
 
         wh = wh_of(task_graph, machine, gamma)
         if wh <= 0:
             return Mapping(gamma, machine)
 
+        # Cached TASKWHOPS rows; invalidated only around committed swaps.
+        whops = all_task_whops(sym, table, gamma)
+        # With uniform group weights (the paper's setting) the equal-weight
+        # swap restriction is vacuous; skip the per-level filter then.
+        uniform = bool(np.all(weights == weights[0])) if weights.size else True
+        seen_buf = np.zeros(gm.num_vertices, dtype=bool)
         for _ in range(self.max_passes):
             pass_start_wh = wh
-            heap = AddressableMaxHeap()
-            for t in range(task_graph.num_tasks):
-                heap.insert(t, _task_whops(t, sym, torus, gamma))
+            heap = IntKeyMaxHeap.from_priorities(whops)
             while heap:
                 twh, _ = heap.pop()
                 gain = self._try_swap(
-                    twh, sym, weights, torus, gm, machine, gamma, host, heap
+                    twh,
+                    sym,
+                    weights,
+                    table,
+                    gm,
+                    alloc_mask,
+                    gamma,
+                    host,
+                    heap,
+                    whops,
+                    uniform,
+                    seen_buf,
                 )
                 wh -= gain
             if pass_start_wh <= 0:
@@ -86,62 +118,83 @@ class WHRefiner:
         twh: int,
         sym,
         weights: np.ndarray,
-        torus,
+        table,
         gm,
-        machine: Machine,
+        alloc_mask: np.ndarray,
         gamma: np.ndarray,
         host: np.ndarray,
-        heap: AddressableMaxHeap,
+        heap: IntKeyMaxHeap,
+        whops: np.ndarray,
+        uniform: bool,
+        seen: np.ndarray,
     ) -> float:
-        """Search ≤Δ BFS-ordered candidates; commit the first improving swap.
+        """Score ≤Δ BFS-ordered candidates; commit the first improving swap.
 
         Returns the WH gain achieved (0.0 when no swap was committed).
+        The candidate *filtering* (allocation membership, hosting a task,
+        equal weights) consumes no Δ budget — only scored candidates do —
+        matching the scalar reference exactly.
         """
         nbrs = sym.neighbors(twh)
         if nbrs.size == 0:
             return 0.0
         seeds = np.unique(gamma[nbrs])
-        alloc_mask = machine.alloc_mask()
+
+        # ---- collect the first ≤Δ eligible partners in BFS order ----
+        batches: List[np.ndarray] = []
+        budget = self.delta
+        seen[:] = False
+        frontier = seeds
+        seen[frontier] = True
+        while frontier.size and budget > 0:
+            hosts = host[frontier]
+            # host[Γ[twh]] == twh, so the "skip our own node" test of the
+            # scalar path is subsumed by hosts != twh.
+            ok = alloc_mask[frontier] & (hosts >= 0) & (hosts != twh)
+            cand = hosts[ok]
+            if not uniform:
+                cand = cand[weights[cand] == weights[twh]]
+            if cand.size:
+                take = cand[:budget]
+                batches.append(take)
+                budget -= take.size
+                if budget <= 0:
+                    break
+            frontier = expand_frontier(gm, frontier, seen)
+        if not batches:
+            return 0.0
+        partners = batches[0] if len(batches) == 1 else np.concatenate(batches)
         na = int(gamma[twh])
 
-        checked = 0
-        n_nodes = gm.num_vertices
-        seen = np.zeros(n_nodes, dtype=bool)
-        frontier = seeds.astype(np.int64)
-        seen[frontier] = True
-        while frontier.size and checked < self.delta:
-            for m in np.sort(frontier).tolist():
-                if checked >= self.delta:
-                    break
-                if not alloc_mask[m] or m == na:
-                    continue
-                t = int(host[m])
-                if t < 0 or t == twh:
-                    continue
-                if weights[t] != weights[twh]:
-                    continue  # swap must preserve capacities
-                gain = _swap_gain(twh, t, sym, torus, gamma)
-                checked += 1
-                if gain > 1e-12:
-                    nb = int(gamma[t])
-                    gamma[twh] = nb
-                    gamma[t] = na
-                    host[na] = t
-                    host[nb] = twh
-                    _update_heap_around(heap, (twh, t), sym, torus, gamma)
-                    return gain
-            nxt = []
-            for v in frontier.tolist():
-                for u in gm.neighbors(v).tolist():
-                    if not seen[u]:
-                        seen[u] = True
-                        nxt.append(u)
-            frontier = np.asarray(sorted(set(nxt)), dtype=np.int64)
-        return 0.0
+        # ---- one batched gain evaluation for the whole candidate set ----
+        gains = batched_swap_gains(
+            sym, table, gamma, twh, partners, whops_t1=float(whops[twh])
+        )
+        improving = np.flatnonzero(gains > 1e-12)
+        if improving.size == 0:
+            return 0.0
+        j = int(improving[0])
+        t = int(partners[j])
+        gain = float(gains[j])
+
+        nb = int(gamma[t])
+        gamma[twh] = nb
+        gamma[t] = na
+        host[na] = t
+        host[nb] = twh
+        refresh_whops_around(heap, sym, table, gamma, (twh, t), whops=whops)
+        return gain
 
 
+# ----------------------------------------------------------------------
+# Scalar reference implementations.
+#
+# The batched kernels above must agree with these term for term; the
+# equivalence tests exercise both paths side by side.  They are not on
+# the hot path.
+# ----------------------------------------------------------------------
 def _task_whops(t: int, sym, torus, gamma: np.ndarray) -> float:
-    """TASKWHOPS: the WH incurred by task *t* under Γ."""
+    """TASKWHOPS: the WH incurred by task *t* under Γ (scalar reference)."""
     nbrs = sym.neighbors(t)
     if nbrs.size == 0:
         return 0.0
@@ -153,7 +206,8 @@ def _swap_gain(t1: int, t2: int, sym, torus, gamma: np.ndarray) -> float:
     """Exact WH change (positive = improvement) of swapping Γ[t1] ↔ Γ[t2].
 
     The direct t1–t2 edge keeps its dilation under a swap, so it is
-    excluded from both sides of the difference.
+    excluded from both sides of the difference.  Scalar reference for
+    :func:`repro.kernels.batched_swap_gains`.
     """
     n1, n2 = int(gamma[t1]), int(gamma[t2])
 
@@ -170,20 +224,3 @@ def _swap_gain(t1: int, t2: int, sym, torus, gamma: np.ndarray) -> float:
     before = cost(t1, n1, t2) + cost(t2, n2, t1)
     after = cost(t1, n2, t2) + cost(t2, n1, t1)
     return before - after
-
-
-def _update_heap_around(
-    heap: AddressableMaxHeap, swapped, sym, torus, gamma: np.ndarray
-) -> None:
-    """Refresh whHeap priorities of the swapped tasks' neighbourhoods.
-
-    Only entries still *in* the heap are updated (popped tasks stay
-    processed for this pass, as in the paper's Algorithm 2 lines 5–6).
-    """
-    touched = set()
-    for t in swapped:
-        touched.update(sym.neighbors(t).tolist())
-        touched.add(t)
-    for u in touched:
-        if u in heap:
-            heap.update(u, _task_whops(u, sym, torus, gamma))

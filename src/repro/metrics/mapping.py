@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.graph.task_graph import TaskGraph
+from repro.kernels import hop_table_for, total_weighted_hops
 from repro.topology.machine import Machine
 from repro.topology.routing import routes_bulk
 
@@ -120,7 +121,7 @@ def evaluate_mapping(
     src_n = gamma[src_t]
     dst_n = gamma[dst_t]
     torus = machine.torus
-    dilation = torus.hop_distance(src_n, dst_n).astype(np.float64)
+    dilation = hop_table_for(torus).pairwise_hops(src_n, dst_n).astype(np.float64)
     th = float(dilation.sum())
     wh = float((dilation * vol).sum())
 
@@ -144,14 +145,12 @@ def weighted_hops(
 ) -> float:
     """WH only (cheaper than :func:`evaluate_mapping`; no routing pass)."""
     gamma = _validate_gamma(task_graph, machine, gamma)
-    src_t, dst_t, vol = task_graph.graph.edge_list()
-    dilation = machine.torus.hop_distance(gamma[src_t], gamma[dst_t])
-    return float((dilation * vol).sum())
+    return total_weighted_hops(task_graph.graph, hop_table_for(machine.torus), gamma)
 
 
 def total_hops(task_graph: TaskGraph, machine: Machine, gamma: np.ndarray) -> float:
     """TH only."""
     gamma = _validate_gamma(task_graph, machine, gamma)
     src_t, dst_t, _ = task_graph.graph.edge_list()
-    dilation = machine.torus.hop_distance(gamma[src_t], gamma[dst_t])
+    dilation = hop_table_for(machine.torus).pairwise_hops(gamma[src_t], gamma[dst_t])
     return float(dilation.sum())

@@ -56,6 +56,7 @@ class Torus3D:
         "_graph",
         "_link_bw",
         "_link_valid",
+        "_hop_table",
     )
 
     def __init__(
@@ -75,6 +76,7 @@ class Torus3D:
         self._graph: Optional[CSRGraph] = None
         self._link_bw: Optional[np.ndarray] = None
         self._link_valid: Optional[np.ndarray] = None
+        self._hop_table = None
 
     # ------------------------------------------------------------------
     # coordinates
@@ -112,6 +114,17 @@ class Torus3D:
         diff = np.abs(cu - cv)
         per_dim = np.minimum(diff, sizes - diff)
         return per_dim.sum(axis=-1)
+
+    def hop_table(self):
+        """Cached :class:`repro.kernels.HopTable` for batched hop lookups.
+
+        The mapping and metric hot paths go through this table; the
+        coordinate formula above stays as the scalar reference the
+        equivalence tests compare against.
+        """
+        from repro.kernels.hoptable import hop_table_for
+
+        return hop_table_for(self)
 
     @property
     def diameter(self) -> int:

@@ -16,7 +16,7 @@ layer builds on:
   experiment (mapping times).
 """
 
-from repro.util.heap import AddressableMaxHeap, AddressableMinHeap
+from repro.util.heap import AddressableMaxHeap, AddressableMinHeap, IntKeyMaxHeap
 from repro.util.rng import seeded_rng, spawn_seeds
 from repro.util.sfc import hilbert2d_order, snake3d_order, sfc_node_order
 from repro.util.timing import Timer
@@ -31,6 +31,7 @@ from repro.util.validation import (
 __all__ = [
     "AddressableMaxHeap",
     "AddressableMinHeap",
+    "IntKeyMaxHeap",
     "seeded_rng",
     "spawn_seeds",
     "hilbert2d_order",

@@ -70,6 +70,11 @@ def main(argv) -> str:
         "machine": platform.machine(),
         "geo_mean_map_time_s": overall,
         "geo_mean_map_time_s_by_procs": per_procs,
+        # Shared-artifact reuse during the sweep (MappingService batching).
+        "artifact_cache": {
+            ns: {"hits": s.hits, "misses": s.misses, "size": s.size}
+            for ns, s in cache.artifacts.stats().items()
+        },
     }
     with open(out_path, "w") as fh:
         json.dump(snapshot, fh, indent=1, sort_keys=True)

@@ -10,15 +10,12 @@
 
 import time
 
-import numpy as np
 import pytest
 
-from repro.experiments.harness import run_mapper
 from repro.mapping.base import wh_of
 from repro.mapping.greedy import GreedyMapper, greedy_map
 from repro.mapping.pipeline import prepare_groups
 from repro.mapping.refine_wh import WHRefiner
-from repro.util.rng import mix_seed
 
 
 @pytest.fixture(scope="module")

@@ -21,15 +21,14 @@ from repro import (
     AllocationSpec,
     CommOnlyApp,
     Hypergraph,
+    MapRequest,
+    MappingService,
     SparseAllocator,
     TaskGraph,
-    evaluate_mapping,
     generate_matrix,
-    get_mapper,
     get_partitioner,
     torus_for_job,
 )
-from repro.mapping.pipeline import prepare_groups
 
 PROCS, PPN = 128, 4
 
@@ -43,6 +42,7 @@ def main() -> None:
     nodes = PROCS // PPN
     torus = torus_for_job(nodes, headroom=3.0)
     app = CommOnlyApp(scale=65536.0)
+    service = MappingService()  # shared artifact cache across the sweep
 
     print(f"Workload: {matrix.name}, {PROCS} ranks on {nodes} nodes "
           f"(torus {torus.dims})")
@@ -56,15 +56,19 @@ def main() -> None:
                 num_nodes=nodes, procs_per_node=PPN, fragmentation=frag, seed=11
             )
         )
-        groups = prepare_groups(tg, machine, seed=7)
-        out = {}
-        for name in ("DEF", "UWH"):
-            res = get_mapper(name, seed=7).map(
-                tg, machine, groups=None if name == "DEF" else groups
+        responses = service.map_batch(
+            MapRequest(
+                task_graph=tg,
+                machine=machine,
+                algorithms=("DEF", "UWH"),
+                seed=7,
+                evaluate=True,
             )
-            m = evaluate_mapping(tg, machine, res.fine_gamma)
+        )
+        out = {}
+        for res in responses:
             t = app.execution_time(tg, machine, res.fine_gamma)
-            out[name] = (m.wh, t)
+            out[res.algorithm] = (res.metrics.wh, t)
         gain = 100 * (1 - out["UWH"][0] / out["DEF"][0])
         speedup = out["DEF"][1] / out["UWH"][1]
         print(f"{frag:5.2f} {out['DEF'][0]:9.0f} {out['UWH'][0]:9.0f} "

@@ -16,16 +16,15 @@ import numpy as np
 from repro import (
     AllocationSpec,
     Hypergraph,
+    MapRequest,
+    MappingService,
     SparseAllocator,
     SpMVSimulator,
     TaskGraph,
-    evaluate_mapping,
     generate_matrix,
-    get_mapper,
     get_partitioner,
     torus_for_job,
 )
-from repro.mapping.pipeline import prepare_groups
 
 PROCS, PPN = 128, 4
 PARTITIONERS = ("SCOTCH", "PATOH", "UMPATM")
@@ -40,6 +39,7 @@ def main() -> None:
         AllocationSpec(num_nodes=nodes, procs_per_node=PPN, fragmentation=0.4, seed=2)
     )
     sim = SpMVSimulator(iterations=500)
+    service = MappingService()  # one shared artifact cache for the sweep
 
     print(f"SpMV on {matrix.name}: {PROCS} ranks, {nodes} nodes, torus "
           f"{machine.torus.dims}")
@@ -56,17 +56,23 @@ def main() -> None:
         tg = TaskGraph.from_comm_triplets(
             PROCS, h.comm_triplets(part, PROCS), loads=loads
         )
-        groups = prepare_groups(tg, machine, seed=3)
-        for mname in MAPPERS:
-            res = get_mapper(mname, seed=3).map(
-                tg, machine, groups=None if mname in ("DEF", "TMAP") else groups
+        # One batched request per task graph: the service computes the
+        # shared grouping once and runs every mapper on top of it.
+        responses = service.map_batch(
+            MapRequest(
+                task_graph=tg,
+                machine=machine,
+                algorithms=MAPPERS,
+                seed=3,
+                evaluate=True,
             )
-            metrics = evaluate_mapping(tg, machine, res.fine_gamma)
+        )
+        for res in responses:
             t = sim.execution_time(tg, machine, res.fine_gamma)
-            print(f"{pname:>12s} {mname:>6s} {metrics.th:8.0f} "
-                  f"{metrics.mc:8.2f} {t:9.4f}")
+            print(f"{pname:>12s} {res.algorithm:>6s} {res.metrics.th:8.0f} "
+                  f"{res.metrics.mc:8.2f} {t:9.4f}")
             if t < best[2]:
-                best = (pname, mname, t)
+                best = (pname, res.algorithm, t)
 
     print(f"\nFastest combination: {best[0]} + {best[1]} ({best[2]:.4f} s)")
 

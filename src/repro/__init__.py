@@ -52,8 +52,17 @@ from repro.mapping import (
 )
 from repro.sim import CommOnlyApp, FlowSimulator, SpMVSimulator
 from repro.analysis import nnls_regression, geometric_mean
+from repro.api import (
+    ArtifactCache,
+    MapRequest,
+    MapResponse,
+    MapperSpec,
+    MappingService,
+    register_mapper,
+    registered_mappers,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CSRGraph",
@@ -90,6 +99,13 @@ __all__ = [
     "nnls_regression",
     "geometric_mean",
     "quick_map",
+    "ArtifactCache",
+    "MapRequest",
+    "MapResponse",
+    "MapperSpec",
+    "MappingService",
+    "register_mapper",
+    "registered_mappers",
 ]
 
 
@@ -101,8 +117,6 @@ def quick_map(rows: int = 2000, procs: int = 64, *, group: str = "cage", seed: i
     WH, UMC on MC).
     """
     import numpy as np
-
-    from repro.mapping.pipeline import prepare_groups
 
     matrix = generate_matrix(group, rows, seed=seed)
     h = Hypergraph.from_matrix(matrix)
@@ -117,10 +131,13 @@ def quick_map(rows: int = 2000, procs: int = 64, *, group: str = "cage", seed: i
     machine = SparseAllocator(torus).allocate(
         AllocationSpec(num_nodes=nodes, procs_per_node=ppn, seed=seed)
     )
-    groups = prepare_groups(tg, machine, seed=seed)
-    report = {}
-    for name in MAPPER_NAMES:
-        mapper = get_mapper(name, seed=seed)
-        res = mapper.map(tg, machine, groups=None if name in ("DEF", "TMAP") else groups)
-        report[name] = evaluate_mapping(tg, machine, res.fine_gamma)
-    return report
+    responses = MappingService().map_batch(
+        MapRequest(
+            task_graph=tg,
+            machine=machine,
+            algorithms=MAPPER_NAMES,
+            seed=seed,
+            evaluate=True,
+        )
+    )
+    return {r.algorithm: r.metrics for r in responses}

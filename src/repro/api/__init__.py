@@ -1,0 +1,93 @@
+"""Public mapping API: registry-driven service, batch execution, caching.
+
+This package is the composition seam over the paper's algorithms
+(:mod:`repro.mapping`): every algorithm is a declarative
+:class:`~repro.api.registry.MapperSpec` naming its stages (grouping →
+placement → refine*), the :class:`~repro.api.service.MappingService`
+executes :class:`~repro.api.request.MapRequest` objects against that
+registry, and an :class:`~repro.api.cache.ArtifactCache` shares
+groupings, DEF baselines and derived coarse graphs across algorithms
+and requests (hop tables are memoized per torus in the kernel layer,
+with a content-keyed handle via ``MappingService.hop_table``).
+
+Quickstart::
+
+    from repro.api import MapRequest, MappingService
+
+    service = MappingService()
+    responses = service.map_batch(
+        MapRequest(task_graph=tg, machine=machine,
+                   algorithms=("UG", "UWH", "UMC"), seed=0, evaluate=True)
+    )
+    for r in responses:
+        print(r.algorithm, r.metrics.wh, r.map_time)
+
+Third-party algorithms register through the public decorator::
+
+    from repro.api import register_mapper
+
+    @register_mapper("SNAKE", refine=("wh",))
+    def snake_placement(ctx):
+        ...
+        return gamma
+
+Also runnable as a CLI: ``python -m repro.api map --matrix cage15_like
+--algos UWH,UMC --json``.
+"""
+
+from repro.api.cache import (
+    ArtifactCache,
+    CacheStats,
+    fingerprint_arrays,
+    machine_key,
+    task_graph_key,
+)
+from repro.api.registry import (
+    MapperRegistrationError,
+    MapperSpec,
+    UnknownMapperError,
+    get_spec,
+    register_mapper,
+    registered_mappers,
+    unregister_mapper,
+)
+from repro.api.request import MapRequest, MapResponse
+from repro.api.service import MappingService
+from repro.api.stages import (
+    FINE_REFINE_STAGES,
+    GROUPING_STAGES,
+    PLACEMENT_STAGES,
+    REFINE_STAGES,
+    StageContext,
+    register_fine_refine_stage,
+    register_grouping_stage,
+    register_placement_stage,
+    register_refine_stage,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "fingerprint_arrays",
+    "machine_key",
+    "task_graph_key",
+    "MapperSpec",
+    "MapperRegistrationError",
+    "UnknownMapperError",
+    "register_mapper",
+    "unregister_mapper",
+    "get_spec",
+    "registered_mappers",
+    "MapRequest",
+    "MapResponse",
+    "MappingService",
+    "StageContext",
+    "GROUPING_STAGES",
+    "PLACEMENT_STAGES",
+    "REFINE_STAGES",
+    "FINE_REFINE_STAGES",
+    "register_grouping_stage",
+    "register_placement_stage",
+    "register_refine_stage",
+    "register_fine_refine_stage",
+]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.api``."""
+
+import sys
+
+from repro.api.cli import main
+
+sys.exit(main())

@@ -1,0 +1,230 @@
+"""``python -m repro.api`` — command-line front end of the MappingService.
+
+Subcommands
+-----------
+``list``
+    Show every registered mapper and its declared stage composition.
+``map``
+    Build a workload from a corpus matrix (generate → partition →
+    task graph → sparse torus allocation), run one or more mapping
+    algorithms through :class:`~repro.api.service.MappingService`, and
+    print the fine-level metrics — as a table or as JSON.
+
+Examples::
+
+    python -m repro.api list
+    python -m repro.api map --matrix cage15_like --algos UWH,UMC --json
+    python -m repro.api map --matrix rgg_n23_like --procs 128 --ppn 4 \
+        --algos DEF,UG,UWH --stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.api.cache import ArtifactCache
+from repro.api.registry import UnknownMapperError, get_spec, registered_mappers
+from repro.api.request import MapRequest
+from repro.api.service import MappingService
+from repro.data.corpus import CORPUS, load_matrix
+from repro.graph.task_graph import TaskGraph
+from repro.hypergraph.model import Hypergraph
+from repro.partition.toolbox import PARTITIONER_NAMES, get_partitioner
+from repro.topology.allocation import AllocationSpec, SparseAllocator, torus_for_job
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api",
+        description="Registry-driven topology-aware task mapping service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show registered mappers and their stages")
+    p_list.add_argument("--json", action="store_true", help="emit JSON")
+
+    p_map = sub.add_parser("map", help="map a corpus matrix with one or more algorithms")
+    p_map.add_argument(
+        "--matrix",
+        required=True,
+        help=f"corpus matrix name, e.g. {CORPUS[0].name!r}",
+    )
+    p_map.add_argument(
+        "--algos",
+        default="UG,UWH",
+        help="comma-separated mapper names (default: UG,UWH)",
+    )
+    p_map.add_argument("--procs", type=int, default=64, help="MPI ranks (default 64)")
+    p_map.add_argument("--ppn", type=int, default=4, help="processors per node")
+    p_map.add_argument(
+        "--rows-per-unit",
+        type=int,
+        default=120,
+        help="matrix scale: rows per processor unit (default 120)",
+    )
+    p_map.add_argument(
+        "--partitioner",
+        default="PATOH",
+        help=f"one of {', '.join(PARTITIONER_NAMES)}",
+    )
+    p_map.add_argument("--seed", type=int, default=0)
+    p_map.add_argument("--delta", type=int, default=8, help="refinement budget Δ")
+    p_map.add_argument(
+        "--fragmentation",
+        type=float,
+        default=0.3,
+        help="sparse-allocation fragmentation (default 0.3)",
+    )
+    p_map.add_argument("--json", action="store_true", help="emit JSON")
+    p_map.add_argument(
+        "--stats", action="store_true", help="print artifact-cache statistics"
+    )
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    names = registered_mappers()
+    if args.json:
+        payload = {
+            name: {
+                "stages": list(get_spec(name).stage_names()),
+                "description": get_spec(name).description,
+            }
+            for name in names
+        }
+        print(json.dumps(payload, indent=1))
+        return 0
+    print(f"{'mapper':>8s}  {'stages':<40s} description")
+    print("-" * 78)
+    for name in names:
+        spec = get_spec(name)
+        chain = " → ".join(spec.stage_names())
+        print(f"{name:>8s}  {chain:<40s} {spec.description}")
+    return 0
+
+
+def _build_workload(args: argparse.Namespace):
+    """Corpus matrix → partitioned task graph + allocated machine."""
+    entry = next((e for e in CORPUS if e.name == args.matrix), None)
+    if entry is None:
+        raise ValueError(
+            f"unknown matrix {args.matrix!r}; corpus: {[e.name for e in CORPUS]}"
+        )
+    if args.procs % args.ppn:
+        raise ValueError(f"--procs {args.procs} not divisible by --ppn {args.ppn}")
+    matrix = load_matrix(entry, args.rows_per_unit, args.seed)
+    h = Hypergraph.from_matrix(matrix)
+    tool = get_partitioner(args.partitioner)
+    part = tool.partition(matrix, args.procs, seed=args.seed, hypergraph=h).part
+    loads = np.bincount(part, weights=h.loads, minlength=args.procs)
+    tg = TaskGraph.from_comm_triplets(
+        args.procs, h.comm_triplets(part, args.procs), loads=loads
+    )
+    nodes = args.procs // args.ppn
+    machine = SparseAllocator(torus_for_job(nodes)).allocate(
+        AllocationSpec(
+            num_nodes=nodes,
+            procs_per_node=args.ppn,
+            fragmentation=args.fragmentation,
+            seed=args.seed,
+        )
+    )
+    return tg, machine
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    algos = tuple(a.strip() for a in args.algos.split(",") if a.strip())
+    if not algos:
+        raise ValueError("--algos needs at least one mapper name")
+    for a in algos:  # fail fast, before the workload build
+        get_spec(a)
+
+    tg, machine = _build_workload(args)
+    service = MappingService(cache=ArtifactCache())
+    responses = service.map_batch(
+        MapRequest(
+            task_graph=tg,
+            machine=machine,
+            algorithms=algos,
+            seed=args.seed,
+            delta=args.delta,
+            evaluate=True,
+        )
+    )
+
+    if args.json:
+        payload = {
+            "matrix": args.matrix,
+            "partitioner": args.partitioner,
+            "procs": args.procs,
+            "nodes": machine.num_alloc_nodes,
+            "torus": list(machine.torus.dims),
+            "seed": args.seed,
+            "results": [
+                {
+                    "algorithm": r.algorithm,
+                    "metrics": {
+                        k: float(v) for k, v in r.metrics.as_dict().items()
+                    },
+                    "map_time_s": r.map_time,
+                    "prep_time_s": r.prep_time,
+                    "stage_times_s": {k: float(v) for k, v in r.stage_times.items()},
+                    "grouping_cached": r.grouping_cached,
+                }
+                for r in responses
+            ],
+        }
+        if args.stats:
+            payload["cache_stats"] = {
+                ns: {"hits": s.hits, "misses": s.misses, "size": s.size}
+                for ns, s in service.cache.stats().items()
+            }
+        print(json.dumps(payload, indent=1))
+        return 0
+
+    print(
+        f"{args.matrix} via {args.partitioner}: {args.procs} ranks on "
+        f"{machine.num_alloc_nodes} nodes (torus {machine.torus.dims})"
+    )
+    print(
+        f"\n{'mapper':>8s} {'TH':>9s} {'WH':>11s} {'MMC':>6s} {'MC':>9s} "
+        f"{'map(ms)':>8s} {'shared-grouping':>16s}"
+    )
+    print("-" * 72)
+    for r in responses:
+        m = r.metrics
+        shared = "hit" if r.grouping_cached else "computed"
+        spec = get_spec(r.algorithm)
+        if spec.group_in_map_time:
+            shared = "own"
+        print(
+            f"{r.algorithm:>8s} {m.th:9.0f} {m.wh:11.0f} {m.mmc:6.0f} "
+            f"{m.mc:9.2f} {r.map_time * 1e3:8.2f} {shared:>16s}"
+        )
+    if args.stats:
+        print("\nArtifact cache:")
+        print(service.cache.format_stats())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        return _cmd_map(args)
+    except (ValueError, UnknownMapperError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

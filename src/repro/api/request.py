@@ -1,0 +1,139 @@
+"""MapRequest / MapResponse — the service's wire-level dataclasses.
+
+A :class:`MapRequest` bundles everything one mapping run needs: the task
+graph, the machine, one or more algorithm names, the seeds/Δ-budget, and
+optional precomputed artifacts.  A :class:`MapResponse` carries the
+legacy :class:`~repro.mapping.pipeline.MapperResult` (so every existing
+consumer keeps working) plus per-stage timings and, when requested, the
+fine-level quality metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph.task_graph import TaskGraph
+from repro.mapping.pipeline import MapperResult
+from repro.metrics.mapping import MappingMetrics
+from repro.partition.driver import EngineConfig
+from repro.topology.machine import Machine
+
+__all__ = ["MapRequest", "MapResponse"]
+
+
+@dataclass
+class MapRequest:
+    """One mapping job: a workload, a machine, and the algorithm(s) to run.
+
+    Parameters
+    ----------
+    task_graph:
+        Fine (rank-level) communication graph.
+    machine:
+        Allocated torus nodes + per-node processor capacities.
+    algorithms:
+        Registered mapper name(s).  A plain string is accepted and
+        normalized to a one-element tuple; :meth:`MappingService.map`
+        requires exactly one name, :meth:`~MappingService.map_batch`
+        runs them all against the shared artifact cache.
+    seed:
+        Seed for the mapping algorithms (grouping partitioner, baseline
+        engines).
+    delta:
+        Early-exit budget Δ of the refinement algorithms.
+    group_config:
+        Optional partitioner configuration for the grouping stage.
+    groups:
+        Optional precomputed ``(group_of_task, coarse)`` pair, injected
+        verbatim (the legacy ``TwoPhaseMapper.map(groups=...)`` path).
+    grouping_seed:
+        Seed for the shared grouping stage when the service computes it;
+        defaults to ``seed``.  The experiment harness uses a distinct,
+        workload-derived seed here so all algorithms (and all figure
+        runners) share one cached grouping per workload.
+    evaluate:
+        Attach fine-level :class:`MappingMetrics` to each response.
+    tag:
+        Opaque caller label, echoed on the response (useful when batching
+        requests for many workloads).
+    """
+
+    task_graph: TaskGraph
+    machine: Machine
+    algorithms: Union[str, Sequence[str]] = ("UG",)
+    seed: int = 0
+    delta: int = 8
+    group_config: Optional[EngineConfig] = None
+    groups: Optional[Tuple[np.ndarray, TaskGraph]] = None
+    grouping_seed: Optional[int] = None
+    evaluate: bool = False
+    tag: Optional[Hashable] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.algorithms, str):
+            self.algorithms = (self.algorithms,)
+        else:
+            self.algorithms = tuple(self.algorithms)
+        if not self.algorithms:
+            raise ValueError("MapRequest needs at least one algorithm name")
+        self._content_keys: Optional[Tuple[int, int]] = None
+
+    @property
+    def effective_grouping_seed(self) -> int:
+        return self.seed if self.grouping_seed is None else self.grouping_seed
+
+    def content_keys(self) -> Tuple[int, int]:
+        """(task-graph, machine) content fingerprints, computed once.
+
+        A batched request fingerprints its (possibly MB-sized) arrays a
+        single time, however many algorithms it fans out to.  The
+        request's task graph and machine must not be mutated after the
+        first service call — the service does not, and callers share the
+        same contract.
+        """
+        if self._content_keys is None:
+            from repro.api.cache import machine_key, task_graph_key
+
+            self._content_keys = (
+                task_graph_key(self.task_graph),
+                machine_key(self.machine),
+            )
+        return self._content_keys
+
+
+@dataclass
+class MapResponse:
+    """Outcome of one (request, algorithm) run.
+
+    ``result`` is the legacy :class:`MapperResult` — fine/coarse Γ,
+    grouping vector, coarse graph, ``map_time``/``prep_time`` with the
+    paper's Figure-3 accounting.  ``stage_times`` breaks ``map_time``
+    down per declared stage (``"placement:greedy"``, ``"refine:wh"``,
+    …), which the monolithic pipeline could never report.
+    """
+
+    algorithm: str
+    result: MapperResult
+    stage_times: Dict[str, float] = field(default_factory=dict)
+    metrics: Optional[MappingMetrics] = None
+    grouping_cached: bool = False
+    tag: Optional[Hashable] = None
+
+    @property
+    def fine_gamma(self) -> np.ndarray:
+        return self.result.fine_gamma
+
+    @property
+    def coarse_gamma(self) -> np.ndarray:
+        return self.result.coarse_gamma
+
+    @property
+    def map_time(self) -> float:
+        return self.result.map_time
+
+    @property
+    def prep_time(self) -> float:
+        return self.result.prep_time

@@ -1,0 +1,251 @@
+"""Named pipeline stages: grouping → placement → refine* → fine-refine*.
+
+The paper's seven algorithms (plus the UTH/UWHF extensions) are
+compositions of a handful of primitives; this module gives each
+primitive a *name* so :class:`~repro.api.registry.MapperSpec` can
+declare an algorithm as data instead of an ``if/elif`` ladder:
+
+=========  ==========================================================
+kind       built-in stages
+=========  ==========================================================
+grouping   ``partition`` (METIS-like + FM fixup, shareable/cacheable),
+           ``blocked`` (DEF's consecutive-rank blocking)
+placement  ``greedy`` (Alg. 1), ``scotch``, ``topomap``,
+           ``consecutive`` (DEF: group *i* → allocation node *i*)
+refine     ``wh`` (Alg. 2), ``mc`` (Alg. 3, volume metric),
+           ``mmc`` (Alg. 3 on the message-multiplicity coarse graph)
+fine       ``fine_wh`` (rank-level WH swap refinement)
+=========  ==========================================================
+
+A placement stage receives a :class:`StageContext` and returns the
+coarse Γ (a :class:`~repro.mapping.base.Mapping` or a plain array); a
+refine stage maps ``(ctx, Mapping) -> Mapping``; a fine stage maps
+``(ctx, fine_gamma) -> fine_gamma``.  Third-party stages register
+through :func:`register_placement_stage` &c. — usually indirectly via
+the :func:`~repro.api.registry.register_mapper` decorator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.graph.task_graph import TaskGraph, coarse_task_graph
+from repro.mapping.base import Mapping
+from repro.mapping.default import DefaultMapper
+from repro.mapping.greedy import GreedyMapper
+import repro.mapping.pipeline as _pipeline
+from repro.mapping.refine_mc import MCRefiner
+from repro.mapping.refine_wh import WHRefiner
+from repro.mapping.scotchmap import ScotchMapper
+from repro.mapping.topomap import TopoMapper
+from repro.topology.machine import Machine
+
+__all__ = [
+    "StageContext",
+    "GROUPING_STAGES",
+    "PLACEMENT_STAGES",
+    "REFINE_STAGES",
+    "FINE_REFINE_STAGES",
+    "register_placement_stage",
+    "register_refine_stage",
+    "register_grouping_stage",
+    "register_fine_refine_stage",
+]
+
+
+@dataclass
+class StageContext:
+    """Mutable state threaded through one algorithm's stage chain.
+
+    ``coarse`` is the canonical (volume-weighted) node-level graph;
+    ``view`` is the graph the placement/refine stages should optimize —
+    identical to ``coarse`` except for unit-cost algorithms (UTH), where
+    it is the unit-weight view of the same grouping.
+    """
+
+    task_graph: TaskGraph
+    machine: Machine
+    seed: int
+    delta: int
+    cache: Optional[object] = None  # ArtifactCache, typed loosely to avoid a cycle
+    group_of_task: Optional[np.ndarray] = None
+    coarse: Optional[TaskGraph] = None
+    view: Optional[TaskGraph] = None
+    group_config: Optional[object] = None
+    options: Dict[str, object] = field(default_factory=dict)
+
+    # -- helpers for stages ------------------------------------------------
+    def message_coarse(self) -> TaskGraph:
+        """Message-multiplicity coarse graph (UMMC's refinement view).
+
+        Deterministic in (task graph, grouping), so it is cached in the
+        service's artifact cache when one is attached.
+        """
+        compute = lambda: _pipeline._message_count_coarse(  # noqa: E731
+            self.task_graph, self.group_of_task, self.machine
+        )
+        if self.cache is None:
+            return compute()
+        from repro.api.cache import fingerprint_arrays, machine_key, task_graph_key
+
+        key = (
+            task_graph_key(self.task_graph),
+            fingerprint_arrays(self.group_of_task),
+            machine_key(self.machine),
+        )
+        return self.cache.get_or_compute("message_coarse", key, compute)
+
+
+# ---------------------------------------------------------------------------
+# Stage registries.
+# ---------------------------------------------------------------------------
+
+GROUPING_STAGES: Dict[str, Callable[[StageContext], None]] = {}
+PLACEMENT_STAGES: Dict[str, Callable[[StageContext], Mapping]] = {}
+REFINE_STAGES: Dict[str, Callable[[StageContext, Mapping], Mapping]] = {}
+FINE_REFINE_STAGES: Dict[str, Callable[[StageContext, np.ndarray], np.ndarray]] = {}
+
+
+def _register(registry: Dict[str, Callable], kind: str, name: str, fn, overwrite):
+    if not overwrite and name in registry:
+        raise ValueError(f"{kind} stage {name!r} is already registered")
+    registry[name] = fn
+    return fn
+
+
+def register_grouping_stage(name: str, fn=None, *, overwrite: bool = False):
+    """Register a grouping stage (sets ``ctx.group_of_task``/``ctx.coarse``)."""
+    if fn is None:
+        return lambda f: _register(GROUPING_STAGES, "grouping", name, f, overwrite)
+    return _register(GROUPING_STAGES, "grouping", name, fn, overwrite)
+
+
+def register_placement_stage(name: str, fn=None, *, overwrite: bool = False):
+    """Register a placement stage (``ctx -> Mapping | gamma array``)."""
+    if fn is None:
+        return lambda f: _register(PLACEMENT_STAGES, "placement", name, f, overwrite)
+    return _register(PLACEMENT_STAGES, "placement", name, fn, overwrite)
+
+
+def register_refine_stage(name: str, fn=None, *, overwrite: bool = False):
+    """Register a coarse refine stage (``(ctx, Mapping) -> Mapping``)."""
+    if fn is None:
+        return lambda f: _register(REFINE_STAGES, "refine", name, f, overwrite)
+    return _register(REFINE_STAGES, "refine", name, fn, overwrite)
+
+
+def register_fine_refine_stage(name: str, fn=None, *, overwrite: bool = False):
+    """Register a fine refine stage (``(ctx, fine_gamma) -> fine_gamma``)."""
+    if fn is None:
+        return lambda f: _register(FINE_REFINE_STAGES, "fine", name, f, overwrite)
+    return _register(FINE_REFINE_STAGES, "fine", name, fn, overwrite)
+
+
+# ---------------------------------------------------------------------------
+# Built-in grouping stages.
+# ---------------------------------------------------------------------------
+
+
+@register_grouping_stage("partition")
+def _grouping_partition(ctx: StageContext) -> None:
+    """Paper grouping: METIS-like partition + exact-balance FM fixup."""
+    ctx.group_of_task, ctx.coarse = _pipeline.prepare_groups(
+        ctx.task_graph, ctx.machine, seed=ctx.seed, config=ctx.group_config
+    )
+
+
+@register_grouping_stage("blocked")
+def _grouping_blocked(ctx: StageContext) -> None:
+    """DEF's implicit grouping: consecutive ranks per allocation node."""
+    machine = ctx.machine
+    if ctx.task_graph.num_tasks > machine.total_procs:
+        raise ValueError(
+            f"{ctx.task_graph.num_tasks} tasks exceed "
+            f"{machine.total_procs} processors"
+        )
+    mapper = DefaultMapper()
+    group_of_task = mapper.rank_groups(ctx.task_graph.num_tasks, machine)
+    coarse = coarse_task_graph(
+        ctx.task_graph, group_of_task, machine.num_alloc_nodes
+    )
+    coarse.graph.vertex_weights = np.bincount(
+        group_of_task, minlength=machine.num_alloc_nodes
+    ).astype(np.float64)
+    ctx.group_of_task, ctx.coarse = group_of_task, coarse
+
+
+# ---------------------------------------------------------------------------
+# Built-in placement stages.
+# ---------------------------------------------------------------------------
+
+
+@register_placement_stage("greedy")
+def _place_greedy(ctx: StageContext) -> Mapping:
+    """Algorithm 1: greedy graph-growing WH placement (UG)."""
+    return GreedyMapper().map(ctx.view, ctx.machine)
+
+
+@register_placement_stage("scotch")
+def _place_scotch(ctx: StageContext) -> Mapping:
+    """Scotch-like simultaneous dual recursive bipartitioning (SMAP)."""
+    return ScotchMapper(seed=ctx.seed).map(ctx.view, ctx.machine)
+
+
+@register_placement_stage("topomap")
+def _place_topomap(ctx: StageContext) -> Mapping:
+    """LibTopoMap-like dual recursive bipartitioning (TMAP core)."""
+    return TopoMapper(seed=ctx.seed, fallback_on_mc=False).map(ctx.view, ctx.machine)
+
+
+@register_placement_stage("consecutive")
+def _place_consecutive(ctx: StageContext) -> Mapping:
+    """DEF's placement: group *i* lives on allocation node *i*."""
+    return Mapping(ctx.machine.alloc_nodes.copy(), ctx.machine)
+
+
+# ---------------------------------------------------------------------------
+# Built-in refine stages.
+# ---------------------------------------------------------------------------
+
+
+@register_refine_stage("wh")
+def _refine_wh(ctx: StageContext, mapping: Mapping) -> Mapping:
+    """Algorithm 2: WH-driven task-swap refinement."""
+    return WHRefiner(delta=ctx.delta).refine(ctx.view, mapping)
+
+
+@register_refine_stage("mc")
+def _refine_mc(ctx: StageContext, mapping: Mapping) -> Mapping:
+    """Algorithm 3 with the volume metric (UMC)."""
+    return MCRefiner(delta=ctx.delta, metric="volume").refine(ctx.view, mapping)
+
+
+@register_refine_stage("mmc")
+def _refine_mmc(ctx: StageContext, mapping: Mapping) -> Mapping:
+    """Algorithm 3 on fine message multiplicities (UMMC).
+
+    Refines on a coarse graph whose edge weights count rank-pair
+    messages, so the tracked maximum is the rank-level MMC rather than
+    the (deduplicated) coarse edge count.
+    """
+    return MCRefiner(delta=ctx.delta, metric="message").refine(
+        ctx.message_coarse(), mapping
+    )
+
+
+# ---------------------------------------------------------------------------
+# Built-in fine refine stages.
+# ---------------------------------------------------------------------------
+
+
+@register_fine_refine_stage("fine_wh")
+def _refine_fine_wh(ctx: StageContext, fine_gamma: np.ndarray) -> np.ndarray:
+    """Rank-level WH swap refinement (the UWHF extension)."""
+    from repro.mapping.refine_fine import FineWHRefiner
+
+    return FineWHRefiner(delta=ctx.delta).refine(
+        ctx.task_graph, ctx.machine, fine_gamma
+    )

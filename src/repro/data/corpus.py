@@ -14,7 +14,7 @@ and SpMV experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.graph.generators import generate_matrix
 from repro.graph.matrices import SparseMatrix

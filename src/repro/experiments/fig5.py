@@ -15,8 +15,9 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.api.request import MapRequest
 from repro.experiments.fig4 import FIG4_MAPPERS, FIG4_PARTITIONERS
-from repro.experiments.harness import WorkloadCache, run_mapper
+from repro.experiments.harness import WorkloadCache
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.sim.spmv import SpMVSimulator
 from repro.util.rng import mix_seed
@@ -57,20 +58,28 @@ def run_fig5(
     stds: Dict[Tuple[str, str], float] = {}
     for part_tool in FIG4_PARTITIONERS:
         wl = cache.workload(matrix_name, part_tool, procs)
-        shared = cache.groups(matrix_name, part_tool, procs, alloc_seed)
-        for algo in FIG4_MAPPERS:
-            groups = None if algo in ("DEF", "TMAP") else shared
-            result, metrics, _ = run_mapper(
-                algo, wl, machine, seed=mix_seed(profile.seed, 31 + alloc_seed), groups=groups
+        responses = cache.service.map_batch(
+            MapRequest(
+                task_graph=wl.task_graph,
+                machine=machine,
+                algorithms=FIG4_MAPPERS,
+                seed=mix_seed(profile.seed, 31 + alloc_seed),
+                grouping_seed=cache.grouping_seed(
+                    matrix_name, part_tool, procs, alloc_seed
+                ),
+                evaluate=True,
             )
+        )
+        for response in responses:
+            algo = response.algorithm
             times = sim.run(
                 wl.task_graph,
                 machine,
-                result.fine_gamma,
+                response.fine_gamma,
                 repetitions=profile.repetitions,
                 seed=mix_seed(profile.seed, 41 + alloc_seed),
             )
-            d = metrics.as_dict()
+            d = response.metrics.as_dict()
             raw[(part_tool, algo)] = {
                 "TH": d["TH"],
                 "MMC": d["MMC"],

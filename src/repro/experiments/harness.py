@@ -2,24 +2,35 @@
 
 Workload construction (matrix → partition → MPI task graph), machine
 construction (torus sizing + sparse allocation), and a per-process memo
-cache so figure runners sharing inputs (e.g. Fig. 2 and Fig. 3) don't
+layer so figure runners sharing inputs (e.g. Fig. 2 and Fig. 3) don't
 repeat partitioning work.
+
+Since the API redesign all memoization lives in one
+:class:`~repro.api.cache.ArtifactCache` shared with a
+:class:`~repro.api.service.MappingService`: matrices, hypergraphs,
+workloads, machines *and* groupings are namespaces in the same store the
+service uses for its own artifacts (DEF baselines, message-count coarse
+graphs), so a figure runner batching seven algorithms over one workload
+computes the grouping exactly once.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.api.cache import ArtifactCache
+from repro.api.request import MapRequest
+from repro.api.service import MappingService
 from repro.data.corpus import CORPUS, load_matrix
 from repro.graph.matrices import SparseMatrix
 from repro.graph.task_graph import TaskGraph
 from repro.hypergraph.model import Hypergraph
-from repro.mapping.pipeline import MapperResult, TwoPhaseMapper, prepare_groups
-from repro.metrics.mapping import MappingMetrics, evaluate_mapping
+from repro.mapping.pipeline import MapperResult
+from repro.metrics.mapping import MappingMetrics
 from repro.metrics.nodes import NodeMetrics, evaluate_node_metrics
 from repro.metrics.partition import PartitionMetrics, evaluate_partition
 from repro.partition.toolbox import get_partitioner
@@ -28,7 +39,14 @@ from repro.topology.allocation import AllocationSpec, SparseAllocator, torus_for
 from repro.topology.machine import Machine
 from repro.util.rng import mix_seed
 
-__all__ = ["Workload", "build_workload", "build_machine", "run_mapper", "WorkloadCache"]
+__all__ = [
+    "Workload",
+    "build_workload",
+    "build_machine",
+    "run_mapper",
+    "WorkloadCache",
+    "hash_key",
+]
 
 
 @dataclass
@@ -94,25 +112,49 @@ def run_mapper(
     *,
     seed: int,
     groups: Optional[Tuple[np.ndarray, TaskGraph]] = None,
+    service: Optional[MappingService] = None,
 ) -> Tuple[MapperResult, MappingMetrics, NodeMetrics]:
-    """Run one mapping algorithm; return result + fine-level metrics."""
-    mapper = TwoPhaseMapper(algorithm=name, seed=seed)
-    result = mapper.map(workload.task_graph, machine, groups=groups)
-    metrics = evaluate_mapping(workload.task_graph, machine, result.fine_gamma)
+    """Run one mapping algorithm; return result + fine-level metrics.
+
+    Routed through the :class:`MappingService`; pass *service* (e.g.
+    ``cache.service``) to share its artifact cache across calls.
+    """
+    service = service or MappingService()
+    response = service.map(
+        MapRequest(
+            task_graph=workload.task_graph,
+            machine=machine,
+            algorithms=(name,),
+            seed=seed,
+            groups=groups,
+            evaluate=True,
+        )
+    )
+    result = response.result
     node_metrics = evaluate_node_metrics(result.coarse)
-    return result, metrics, node_metrics
+    return result, response.metrics, node_metrics
 
 
 class WorkloadCache:
-    """Per-process memoization of matrices, hypergraphs and workloads."""
+    """Per-process memoization of matrices, hypergraphs and workloads.
 
-    def __init__(self, profile: ExperimentProfile) -> None:
+    A façade over one shared :class:`ArtifactCache` plus the
+    :class:`MappingService` bound to it (``self.service``); figure
+    runners hand ``service`` their batched requests so groupings, DEF
+    baselines and derived coarse graphs are shared across algorithms,
+    allocations and runners.
+    """
+
+    def __init__(
+        self, profile: ExperimentProfile, artifacts: Optional[ArtifactCache] = None
+    ) -> None:
         self.profile = profile
-        self._matrices: Dict[str, SparseMatrix] = {}
-        self._hypergraphs: Dict[str, Hypergraph] = {}
-        self._workloads: Dict[Tuple[str, str, int], Workload] = {}
-        self._machines: Dict[Tuple[int, int], Machine] = {}
-        self._groups: Dict[Tuple[str, str, int, int, int], Tuple[np.ndarray, TaskGraph]] = {}
+        self.artifacts = artifacts if artifacts is not None else ArtifactCache()
+        self.service = MappingService(cache=self.artifacts)
+        # Key harness artifacts by the profile's *content*, not just its
+        # display name — two same-named profiles with different
+        # parameters sharing one ArtifactCache must not collide.
+        self._pkey = hash_key(repr(profile))
 
     # ------------------------------------------------------------------
     def corpus_entries(self):
@@ -120,52 +162,77 @@ class WorkloadCache:
         return [e for e in CORPUS if not names or e.name in names]
 
     def matrix(self, name: str) -> SparseMatrix:
-        if name not in self._matrices:
-            entry = next(e for e in CORPUS if e.name == name)
-            self._matrices[name] = load_matrix(
-                entry, self.profile.rows_per_unit, self.profile.seed
-            )
-        return self._matrices[name]
+        return self.artifacts.get_or_compute(
+            "matrix",
+            (self._pkey, name),
+            lambda: load_matrix(
+                next(e for e in CORPUS if e.name == name),
+                self.profile.rows_per_unit,
+                self.profile.seed,
+            ),
+        )
 
     def hypergraph(self, name: str) -> Hypergraph:
-        if name not in self._hypergraphs:
-            self._hypergraphs[name] = Hypergraph.from_matrix(self.matrix(name))
-        return self._hypergraphs[name]
+        return self.artifacts.get_or_compute(
+            "hypergraph",
+            (self._pkey, name),
+            lambda: Hypergraph.from_matrix(self.matrix(name)),
+        )
 
     def workload(self, matrix_name: str, partitioner: str, num_procs: int) -> Workload:
         key = (matrix_name, partitioner, num_procs)
-        if key not in self._workloads:
-            self._workloads[key] = build_workload(
+        return self.artifacts.get_or_compute(
+            "workload",
+            (self._pkey,) + key,
+            lambda: build_workload(
                 self.matrix(matrix_name),
                 self.hypergraph(matrix_name),
                 partitioner,
                 num_procs,
                 seed=mix_seed(self.profile.seed, hash_key(key)),
-            )
-        return self._workloads[key]
+            ),
+        )
 
     def machine(self, num_procs: int, alloc_seed: int) -> Machine:
-        key = (num_procs, alloc_seed)
-        if key not in self._machines:
-            self._machines[key] = build_machine(self.profile, num_procs, alloc_seed)
-        return self._machines[key]
+        return self.artifacts.get_or_compute(
+            "machine",
+            (self._pkey, num_procs, alloc_seed),
+            lambda: build_machine(self.profile, num_procs, alloc_seed),
+        )
+
+    # ------------------------------------------------------------------
+    def grouping_seed(
+        self, matrix_name: str, partitioner: str, num_procs: int, alloc_seed: int
+    ) -> int:
+        """Deterministic seed of the shared grouping for one workload.
+
+        Figure runners pass this as ``MapRequest.grouping_seed`` so the
+        service's content-keyed grouping cache is shared across
+        algorithms, allocations sweeps and runners.
+        """
+        key = (matrix_name, partitioner, num_procs, alloc_seed, 0)
+        return mix_seed(self.profile.seed, hash_key(key))
 
     def groups(
         self, matrix_name: str, partitioner: str, num_procs: int, alloc_seed: int
     ) -> Tuple[np.ndarray, TaskGraph]:
         """Shared grouping (phase-1 partition of ranks into nodes)."""
-        key = (matrix_name, partitioner, num_procs, alloc_seed, 0)
-        if key not in self._groups:
-            wl = self.workload(matrix_name, partitioner, num_procs)
-            mach = self.machine(num_procs, alloc_seed)
-            self._groups[key] = prepare_groups(
-                wl.task_graph, mach, seed=mix_seed(self.profile.seed, hash_key(key))
-            )
-        return self._groups[key]
+        wl = self.workload(matrix_name, partitioner, num_procs)
+        mach = self.machine(num_procs, alloc_seed)
+        return self.service.grouping(
+            wl.task_graph,
+            mach,
+            seed=self.grouping_seed(matrix_name, partitioner, num_procs, alloc_seed),
+        )
 
 
 def hash_key(key) -> int:
-    """Stable small hash of a tuple of strs/ints (process-independent)."""
-    import zlib
+    """Stable hash of a tuple of strs/ints (process-independent).
 
-    return zlib.crc32(repr(key).encode()) & 0xFFFF
+    The full 32-bit CRC digest of the key's repr (an earlier version
+    truncated to ``crc32 & 0xFFFF``, colliding distinct workload keys
+    onto the same 16-bit seed), avalanched through
+    :func:`repro.util.rng.mix_seed` so that keys with near-identical
+    reprs land far apart across the 64-bit seed space.
+    """
+    return mix_seed(zlib.crc32(repr(key).encode()) & 0xFFFFFFFF, 0)

@@ -16,7 +16,7 @@ object explicitly to any runner.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 __all__ = ["ExperimentProfile", "PROFILES", "get_profile", "profile_from_env"]

@@ -23,9 +23,11 @@ from repro.analysis.regression import (
     nnls_regression,
     pearson_matrix,
 )
+from repro.api.request import MapRequest
 from repro.experiments.fig4 import FIG4_MAPPERS, FIG4_PARTITIONERS, FIG4_SCALES
-from repro.experiments.harness import WorkloadCache, run_mapper
+from repro.experiments.harness import WorkloadCache
 from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.metrics.nodes import evaluate_node_metrics
 from repro.sim.commapp import CommOnlyApp
 from repro.sim.spmv import SpMVSimulator
 from repro.util.rng import mix_seed
@@ -70,22 +72,30 @@ def run_regression(
         machine = cache.machine(procs, alloc_seed)
         for part_tool in FIG4_PARTITIONERS:
             wl = cache.workload(matrix_name, part_tool, procs)
-            shared = cache.groups(matrix_name, part_tool, procs, alloc_seed)
-            for algo in FIG4_MAPPERS:
-                groups = None if algo in ("DEF", "TMAP") else shared
-                result, mm, nm = run_mapper(
-                    algo,
-                    wl,
-                    machine,
+            responses = cache.service.map_batch(
+                MapRequest(
+                    task_graph=wl.task_graph,
+                    machine=machine,
+                    algorithms=FIG4_MAPPERS,
                     seed=mix_seed(profile.seed, 61 + alloc_seed),
-                    groups=groups,
+                    grouping_seed=cache.grouping_seed(
+                        matrix_name, part_tool, procs, alloc_seed
+                    ),
+                    evaluate=True,
                 )
-                rows.append(_metric_row(wl.partition_metrics, mm, nm))
+            )
+            for response in responses:
+                nm = evaluate_node_metrics(response.result.coarse)
+                rows.append(
+                    _metric_row(wl.partition_metrics, response.metrics, nm)
+                )
                 t_comm.append(
-                    comm_app.execution_time(wl.task_graph, machine, result.fine_gamma)
+                    comm_app.execution_time(
+                        wl.task_graph, machine, response.fine_gamma
+                    )
                 )
                 t_spmv.append(
-                    spmv.execution_time(wl.task_graph, machine, result.fine_gamma)
+                    spmv.execution_time(wl.task_graph, machine, response.fine_gamma)
                 )
 
     v = np.asarray(rows, dtype=np.float64)

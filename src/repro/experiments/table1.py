@@ -22,8 +22,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.analysis.stats import geometric_mean
-from repro.experiments.fig4 import FIG4_MAPPERS, FIG4_PARTITIONERS, FIG4_SCALES
-from repro.experiments.harness import WorkloadCache, run_mapper
+from repro.api.request import MapRequest
+from repro.experiments.fig4 import FIG4_PARTITIONERS, FIG4_SCALES
+from repro.experiments.harness import WorkloadCache
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.sim.commapp import CommOnlyApp
 from repro.sim.spmv import SpMVSimulator
@@ -93,24 +94,26 @@ def run_table1(
         }
         for part_tool in FIG4_PARTITIONERS:
             wl = cache.workload(matrix_name, part_tool, procs)
-            shared = cache.groups(matrix_name, part_tool, procs, alloc_seed)
-            for algo in ("DEF",) + TABLE1_MAPPERS:
-                groups = None if algo in ("DEF", "TMAP") else shared
-                result, _, _ = run_mapper(
-                    algo,
-                    wl,
-                    machine,
+            responses = cache.service.map_batch(
+                MapRequest(
+                    task_graph=wl.task_graph,
+                    machine=machine,
+                    algorithms=("DEF",) + TABLE1_MAPPERS,
                     seed=mix_seed(profile.seed, 53 + alloc_seed + procs),
-                    groups=groups,
+                    grouping_seed=cache.grouping_seed(
+                        matrix_name, part_tool, procs, alloc_seed
+                    ),
                 )
+            )
+            for response in responses:
                 times = runner(
                     wl.task_graph,
                     machine,
-                    result.fine_gamma,
+                    response.fine_gamma,
                     profile.repetitions,
                     mix_seed(profile.seed, 59 + rep),
                 )
-                per_mapper_times[algo].append(float(np.mean(times)))
+                per_mapper_times[response.algorithm].append(float(np.mean(times)))
         def_gm = geometric_mean(per_mapper_times["DEF"])
         def_seconds[(app, procs, rep)] = def_gm
         rows[(app, procs, rep)] = {

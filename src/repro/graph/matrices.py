@@ -11,7 +11,7 @@ metadata.  Numeric values are synthesized on demand for the SpMV simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp

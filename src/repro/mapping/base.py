@@ -9,15 +9,15 @@ is compared fairly against the two-phase algorithms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.graph.task_graph import TaskGraph
 from repro.topology.machine import Machine
 
-__all__ = ["Mapping", "expand_mapping", "validate_mapping", "group_targets"]
+__all__ = ["Mapping", "expand_mapping", "validate_mapping", "group_targets", "wh_of"]
 
 
 @dataclass

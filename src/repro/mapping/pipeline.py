@@ -1,10 +1,18 @@
-"""Two-phase mapping pipeline: partition → coarsen → map → refine → expand.
+"""Two-phase mapping pipeline — legacy facade over the mapper registry.
 
 This is the UMPA driver of Sec. III: the fine MPI task graph (one vertex
 per rank) is partitioned into ``|Va|`` groups whose target weights are the
 per-node processor counts (METIS-like engine), the balance is fixed
 exactly with an FM iteration, the coarse (node-level) graph is mapped by
 the chosen algorithm, and the node assignment is expanded back to ranks.
+
+Since the API redesign the algorithms themselves live in the
+:mod:`repro.api` registry as declarative stage compositions
+(``grouping → placement → refine*``); :class:`TwoPhaseMapper` and
+:func:`get_mapper` remain as thin back-compat shims that build a
+:class:`~repro.api.request.MapRequest` and run it through a
+:class:`~repro.api.service.MappingService`.  Mappings are bit-identical
+to the pre-registry pipeline (pinned by ``tests/test_kernels_golden.py``).
 
 Timing follows Figure 3's accounting: ``prep_time`` covers the shared
 partition/coarsen preprocessing, ``map_time`` the mapping algorithm
@@ -15,22 +23,13 @@ why TMAP lands as the slowest method in the reproduction too.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.task_graph import TaskGraph, coarse_task_graph
-from repro.mapping.base import Mapping, expand_mapping
-from repro.metrics.mapping import evaluate_mapping
-from repro.mapping.default import DefaultMapper
-from repro.mapping.greedy import GreedyMapper
-from repro.mapping.refine_mc import MCRefiner
-from repro.mapping.refine_wh import WHRefiner
-from repro.mapping.scotchmap import ScotchMapper
-from repro.mapping.topomap import TopoMapper
 from repro.partition.driver import EngineConfig, partition_graph
 from repro.partition.fm import balance_fixup
 from repro.topology.machine import Machine
@@ -107,14 +106,35 @@ def prepare_groups(
     return part, coarse
 
 
+def _message_count_coarse(
+    task_graph: TaskGraph, group_of_task: np.ndarray, machine: Machine
+) -> TaskGraph:
+    """Coarse graph whose edge weights count fine (rank-pair) messages."""
+    unit = task_graph.unit_cost()
+    coarse = coarse_task_graph(unit, group_of_task, machine.num_alloc_nodes)
+    coarse.graph.vertex_weights = np.bincount(
+        group_of_task, minlength=machine.num_alloc_nodes
+    ).astype(np.float64)
+    return coarse
+
+
 @dataclass
 class TwoPhaseMapper:
-    """Facade running any of the paper's seven mapping algorithms.
+    """Facade running any registered mapping algorithm.
+
+    Back-compat shim over :class:`~repro.api.service.MappingService`:
+    each ``map()`` call builds a single-algorithm
+    :class:`~repro.api.request.MapRequest` and executes it with a
+    private artifact cache, reproducing the legacy pipeline's behaviour
+    (and mappings) exactly.
 
     Parameters
     ----------
     algorithm:
-        One of :data:`MAPPER_NAMES`.
+        Any name in the mapper registry — the paper's seven
+        (:data:`MAPPER_NAMES`), the UTH/UWHF extensions, or a custom
+        mapper registered via
+        :func:`repro.api.register_mapper`.
     seed:
         Seed for the grouping partitioner and baseline engines.
     delta:
@@ -127,11 +147,9 @@ class TwoPhaseMapper:
     group_config: Optional[EngineConfig] = None
 
     def __post_init__(self) -> None:
-        if self.algorithm not in EXTENDED_MAPPER_NAMES:
-            raise ValueError(
-                f"unknown algorithm {self.algorithm!r}; "
-                f"use one of {EXTENDED_MAPPER_NAMES}"
-            )
+        from repro.api.registry import get_spec
+
+        self.algorithm = get_spec(self.algorithm).name
 
     @property
     def name(self) -> str:
@@ -151,143 +169,28 @@ class TwoPhaseMapper:
         so the expensive grouping step is shared across the seven
         algorithms when the harness compares them on one task graph.
         """
-        if self.algorithm == "DEF":
-            return self._map_def(task_graph, machine)
+        from repro.api.request import MapRequest
+        from repro.api.service import MappingService
 
-        t_prep = time.perf_counter()
-        if groups is None:
-            group_of_task, coarse = prepare_groups(
-                task_graph, machine, seed=self.seed, config=self.group_config
+        response = MappingService().map(
+            MapRequest(
+                task_graph=task_graph,
+                machine=machine,
+                algorithms=(self.algorithm,),
+                seed=self.seed,
+                delta=self.delta,
+                group_config=self.group_config,
+                groups=groups,
             )
-        else:
-            group_of_task, coarse = groups
-        prep_time = time.perf_counter() - t_prep if groups is None else 0.0
-
-        t_map = time.perf_counter()
-        if self.algorithm == "TMAP":
-            # LibTopoMap partitions the task graph itself — its reported
-            # time includes that phase, which is why it is the slowest
-            # mapper in Figure 3.
-            tmap_groups, tmap_coarse = prepare_groups(
-                task_graph, machine, seed=self.seed, config=self.group_config
-            )
-            mapping = TopoMapper(seed=self.seed, fallback_on_mc=False).map(
-                tmap_coarse, machine
-            )
-            map_time = time.perf_counter() - t_map
-            fine = expand_mapping(tmap_groups, mapping.gamma)
-            # "If TMAP's MC value is not smaller than the DEF mapping, it
-            # returns the DEF mapping" — compared at rank granularity.
-            def_result = self._map_def(task_graph, machine)
-            ours = evaluate_mapping(task_graph, machine, fine)
-            ref = evaluate_mapping(task_graph, machine, def_result.fine_gamma)
-            if ours.mc >= ref.mc:
-                return MapperResult(
-                    name="TMAP",
-                    fine_gamma=def_result.fine_gamma,
-                    group_of_task=def_result.group_of_task,
-                    coarse=def_result.coarse,
-                    coarse_gamma=def_result.coarse_gamma,
-                    map_time=map_time,
-                    prep_time=prep_time,
-                )
-            return MapperResult(
-                name="TMAP",
-                fine_gamma=fine,
-                group_of_task=tmap_groups,
-                coarse=tmap_coarse,
-                coarse_gamma=mapping.gamma,
-                map_time=map_time,
-                prep_time=prep_time,
-            )
-        if self.algorithm == "SMAP":
-            mapping = ScotchMapper(seed=self.seed).map(coarse, machine)
-        elif self.algorithm == "UTH":
-            # Unit-cost view: same algorithms, TH objective.
-            unit = coarse.unit_cost()
-            mapping = GreedyMapper().map(unit, machine)
-            mapping = WHRefiner(delta=self.delta).refine(unit, mapping)
-        else:  # UG family
-            mapping = GreedyMapper().map(coarse, machine)
-            if self.algorithm in ("UWH", "UWHF"):
-                mapping = WHRefiner(delta=self.delta).refine(coarse, mapping)
-            elif self.algorithm == "UMC":
-                mapping = MCRefiner(delta=self.delta, metric="volume").refine(
-                    coarse, mapping
-                )
-            elif self.algorithm == "UMMC":
-                # Refine on a coarse graph weighted by fine *message
-                # multiplicities*, so the tracked maximum is the rank-level
-                # MMC rather than the (deduplicated) coarse edge count.
-                msg_coarse = _message_count_coarse(task_graph, group_of_task, machine)
-                mapping = MCRefiner(delta=self.delta, metric="message").refine(
-                    msg_coarse, mapping
-                )
-
-        fine = expand_mapping(group_of_task, mapping.gamma)
-        if self.algorithm == "UWHF":
-            from repro.mapping.refine_fine import FineWHRefiner
-
-            fine = FineWHRefiner(delta=self.delta).refine(task_graph, machine, fine)
-        map_time = time.perf_counter() - t_map
-        return MapperResult(
-            name=self.algorithm,
-            fine_gamma=fine,
-            group_of_task=group_of_task,
-            coarse=coarse,
-            coarse_gamma=mapping.gamma,
-            map_time=map_time,
-            prep_time=prep_time,
         )
-
-    # ------------------------------------------------------------------
-    def _map_def(self, task_graph: TaskGraph, machine: Machine) -> MapperResult:
-        """DEF ignores the task graph: consecutive ranks along allocation."""
-        t0 = time.perf_counter()
-        mapper = DefaultMapper()
-        fine = mapper.map_ranks(task_graph.num_tasks, machine)
-        group_of_task = mapper.rank_groups(task_graph.num_tasks, machine)
-        coarse = coarse_task_graph(task_graph, group_of_task, machine.num_alloc_nodes)
-        coarse.graph.vertex_weights = np.bincount(
-            group_of_task, minlength=machine.num_alloc_nodes
-        ).astype(np.float64)
-        map_time = time.perf_counter() - t0
-        return MapperResult(
-            name="DEF",
-            fine_gamma=fine,
-            group_of_task=group_of_task,
-            coarse=coarse,
-            coarse_gamma=_def_coarse_gamma(machine),
-            map_time=map_time,
-            prep_time=0.0,
-        )
-
-
-def _def_coarse_gamma(machine: Machine) -> np.ndarray:
-    """DEF's group→node assignment: group i lives on allocation node i."""
-    return machine.alloc_nodes.copy()
-
-
-def _message_count_coarse(
-    task_graph: TaskGraph, group_of_task: np.ndarray, machine: Machine
-) -> TaskGraph:
-    """Coarse graph whose edge weights count fine (rank-pair) messages."""
-    unit = task_graph.unit_cost()
-    coarse = coarse_task_graph(unit, group_of_task, machine.num_alloc_nodes)
-    coarse.graph.vertex_weights = np.bincount(
-        group_of_task, minlength=machine.num_alloc_nodes
-    ).astype(np.float64)
-    return coarse
+        return response.result
 
 
 def get_mapper(name: str, *, seed: int = 0, delta: int = 8) -> TwoPhaseMapper:
-    """Look up a mapper by its paper name (case-insensitive).
+    """Look up a mapper by its registry name (case-insensitive).
 
-    Accepts the paper's seven algorithms plus the UTH / UWHF extensions.
+    Accepts the paper's seven algorithms, the UTH / UWHF extensions, and
+    any custom mapper registered through
+    :func:`repro.api.register_mapper`.
     """
-    key = name.upper()
-    if key not in EXTENDED_MAPPER_NAMES:
-        raise ValueError(
-            f"unknown mapper {name!r}; available: {EXTENDED_MAPPER_NAMES}"
-        )
-    return TwoPhaseMapper(algorithm=key, seed=seed, delta=delta)
+    return TwoPhaseMapper(algorithm=name, seed=seed, delta=delta)

@@ -19,7 +19,7 @@ potential partner, each BFS-visited node contributes up to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

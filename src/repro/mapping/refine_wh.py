@@ -44,7 +44,6 @@ from repro.kernels import (
     refresh_whops_around,
 )
 from repro.mapping.base import Mapping, validate_mapping, wh_of
-from repro.topology.machine import Machine
 from repro.util.heap import IntKeyMaxHeap
 
 __all__ = ["WHRefiner"]

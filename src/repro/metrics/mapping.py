@@ -20,7 +20,7 @@ all messages (at most ``|Et| · D`` link crossings, D = torus diameter).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ PaToH use for their initial partitions.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

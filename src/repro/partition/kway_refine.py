@@ -19,7 +19,6 @@ move of a different vertex — the invariant the incremental updates rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

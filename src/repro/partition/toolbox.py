@@ -19,10 +19,9 @@ Every personality accepts a :class:`SparseMatrix`, partitions its rows
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-import numpy as np
 
 from repro.graph.matrices import SparseMatrix
 from repro.hypergraph.model import Hypergraph

@@ -17,7 +17,6 @@ the message-count metrics matter when sizes are *not* scaled.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

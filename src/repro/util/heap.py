@@ -23,7 +23,7 @@ more than fast enough and keeps the hot NumPy paths elsewhere uncluttered.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
 
 import numpy as np
 

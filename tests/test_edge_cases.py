@@ -1,7 +1,6 @@
 """Edge-case and failure-injection tests across modules."""
 
 import numpy as np
-import pytest
 
 from repro.graph.csr import CSRGraph
 from repro.graph.task_graph import TaskGraph

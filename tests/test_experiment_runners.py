@@ -5,7 +5,6 @@ deliberately tiny profile, so harness regressions surface in the unit
 suite rather than at benchmark time.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -4,10 +4,9 @@ import numpy as np
 import pytest
 
 from repro.data.corpus import CORPUS, FLAGSHIPS, load_corpus, load_matrix
-from repro.experiments.harness import WorkloadCache, build_machine, build_workload
+from repro.experiments.harness import WorkloadCache
 from repro.experiments.profiles import (
     PROFILES,
-    ExperimentProfile,
     get_profile,
     profile_from_env,
 )
@@ -66,6 +65,29 @@ class TestProfiles:
         assert p.proc_counts == (1024, 2048, 4096, 8192, 16384)
         assert p.procs_per_node == 16
         assert len(p.alloc_seeds) == 5
+
+
+class TestHashKey:
+    def test_full_width_no_truncation_collisions(self):
+        from repro.experiments.harness import hash_key
+
+        keys = [
+            (name, tool, procs, alloc, 0)
+            for name in ("cage15_like", "rgg_n23_like", "ecology_like")
+            for tool in ("PATOH", "METIS", "SCOTCH")
+            for procs in (16, 32, 64, 128, 256, 512, 1024)
+            for alloc in range(5)
+        ]
+        digests = {hash_key(k) for k in keys}
+        assert len(digests) == len(keys)  # 315 keys, no collisions
+        # The digest uses the full 32-bit range, not the old 16-bit mask.
+        assert max(digests) > 0xFFFF
+
+    def test_stable_across_calls(self):
+        from repro.experiments.harness import hash_key
+
+        key = ("cage15_like", "PATOH", 64)
+        assert hash_key(key) == hash_key(key)
 
 
 class TestHarness:

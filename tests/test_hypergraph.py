@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graph.generators import cage_like
-from repro.graph.matrices import SparseMatrix
 from repro.hypergraph.model import Hypergraph
 
 

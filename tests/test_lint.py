@@ -1,0 +1,35 @@
+"""Lint step of the test flow: run ruff when it is available.
+
+The container baking the CI image may not ship ruff; in that case the
+test skips rather than failing — the configuration in ``ruff.toml``
+still documents the lint contract, and any environment with ruff
+installed (developer laptops, richer CI) enforces it as part of the
+ordinary pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    proc = subprocess.run(
+        ["ruff", "check", "."],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"ruff findings:\n{proc.stdout}\n{proc.stderr}"
+
+
+def test_ruff_config_present():
+    """The lint contract ships with the repo even where ruff doesn't."""
+    assert os.path.exists(os.path.join(REPO_ROOT, "ruff.toml"))

@@ -11,11 +11,9 @@ from repro.mapping.pipeline import (
     get_mapper,
     prepare_groups,
 )
-from repro.mapping.scotchmap import ScotchMapper
-from repro.mapping.topomap import TopoMapper, dual_recursive_map
+from repro.mapping.topomap import dual_recursive_map
 from repro.metrics.mapping import evaluate_mapping
 from repro.topology.allocation import AllocationSpec, SparseAllocator
-from repro.topology.machine import Machine
 from repro.topology.torus import Torus3D
 
 

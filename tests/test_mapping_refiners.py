@@ -10,7 +10,6 @@ from repro.mapping.refine_mc import MCRefiner, _CongestionState
 from repro.mapping.refine_wh import WHRefiner, _swap_gain, _task_whops
 from repro.metrics.mapping import evaluate_mapping
 from repro.topology.allocation import AllocationSpec, SparseAllocator
-from repro.topology.machine import Machine
 from repro.topology.torus import Torus3D
 
 

@@ -2,13 +2,11 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import cage_like, rgg_like
 from repro.partition.coarsen import coarsen_graph, contract, heavy_edge_matching
-from repro.partition.driver import EngineConfig, multilevel_bisect, partition_graph
+from repro.partition.driver import partition_graph
 from repro.partition.fm import balance_fixup, fm_bisection_refine, greedy_bisection_refine
 from repro.partition.initial import best_bisection, greedy_grow_bisection
 from repro.util.rng import seeded_rng

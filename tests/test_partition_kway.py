@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph.generators import cage_like, rgg_like
+from repro.graph.generators import cage_like
 from repro.hypergraph.model import Hypergraph
 from repro.metrics.partition import evaluate_partition
 from repro.partition.kway_refine import OBJECTIVES, KWayState, refine_kway

@@ -7,7 +7,6 @@ from repro.graph.task_graph import TaskGraph
 from repro.sim.commapp import CommOnlyApp
 from repro.sim.network import FlowSimulator
 from repro.sim.spmv import SpMVSimulator
-from repro.topology.allocation import AllocationSpec, SparseAllocator
 from repro.topology.machine import Machine
 from repro.topology.torus import BASE_LATENCY_S, HOP_LATENCY_S, Torus3D
 

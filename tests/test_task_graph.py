@@ -1,7 +1,6 @@
 """Tests for the directed task graph abstraction."""
 
 import numpy as np
-import pytest
 
 from repro.graph.task_graph import TaskGraph, coarse_task_graph
 

@@ -1,6 +1,5 @@
 """Unit + property tests for the addressable heaps."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.util.rng import mix_seed, seeded_rng, spawn_seeds
 from repro.util.sfc import hilbert2d_order, sfc_node_order, snake3d_order

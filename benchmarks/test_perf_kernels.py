@@ -6,7 +6,9 @@ Tracks the primitives the mapping hot paths are built from:
   coordinate-formula ``Torus3D.hop_distance``;
 * one vectorized ``expand_frontier`` BFS level on the torus graph;
 * one ``batched_swap_gains`` call (Δ=8 candidates) vs Δ scalar
-  ``_swap_gain`` invocations.
+  ``_swap_gain`` invocations;
+* one ``CongestionModel.evaluate_swaps`` call (Δ=8 candidates) vs Δ
+  scalar ``swap_improves`` probes — Algorithm 3's inner loop.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/test_perf_kernels.py``;
 pytest-benchmark prints the comparison table.
@@ -111,3 +113,41 @@ def test_swap_gain_batched(benchmark, torus, swap_workload):
     got = benchmark(batched)
     want = [_swap_gain(0, int(t), sym, torus, gamma) for t in partners]
     np.testing.assert_allclose(got, want, rtol=0, atol=1e-9)
+
+
+@pytest.fixture(scope="module")
+def congestion_workload(torus):
+    from repro.kernels.congestion import CongestionModel
+
+    rng = np.random.default_rng(13)
+    n = 256
+    src = rng.integers(0, n, size=2500)
+    dst = rng.integers(0, n, size=2500)
+    keep = src != dst
+    vol = rng.integers(1, 20, size=2500).astype(np.float64)
+    tg = TaskGraph.from_edges(n, src[keep], dst[keep], vol[keep])
+    gamma = rng.choice(torus.num_nodes, size=n, replace=False).astype(np.int64)
+    src_t, dst_t, vols = tg.graph.edge_list()
+    model = CongestionModel(torus, src_t, dst_t, vols, gamma)
+    partners = np.asarray([3, 17, 42, 88, 101, 150, 199, 230], dtype=np.int64)
+    return model, partners
+
+
+def test_congestion_probe_scalar_baseline(benchmark, congestion_workload):
+    model, partners = congestion_workload
+
+    def scalar():
+        return [model.swap_improves(0, int(t)) for t in partners]
+
+    benchmark(scalar)
+
+
+def test_congestion_probe_batched(benchmark, congestion_workload):
+    model, partners = congestion_workload
+
+    def batched():
+        return model.evaluate_swaps(0, partners)
+
+    got = benchmark(batched)
+    want = [model.swap_improves(0, int(t)) for t in partners]
+    assert got.tolist() == want

@@ -1,11 +1,13 @@
-"""ArtifactCache — namespaced memoization shared across mapping requests.
+"""ArtifactCache — bounded, namespaced memoization shared across requests.
 
 Every expensive artifact the mapping service (and the experiment
 harness) produces is stored here under a *namespace* ("grouping",
-"workload", "def_baseline", …) and a content-derived key, so that
+"route_table", "workload", "def_baseline", …) and a content-derived
+key, so that
 
 * ``map_batch`` computes each workload's grouping exactly once across
-  algorithms,
+  algorithms and routes each set of endpoints once across the
+  congestion refiners, metrics and simulators,
 * TMAP's DEF-fallback comparison reuses the DEF baseline instead of
   re-running it,
 * figure runners sharing inputs (Fig. 2/3, Fig. 4/5, Table I) share
@@ -13,19 +15,33 @@ harness) produces is stored here under a *namespace* ("grouping",
   store instead of five ad-hoc dicts.
 
 Keys for task graphs and machines are *content fingerprints* (chained
-CRC-32/Adler-32 over the underlying arrays) rather than object ids, so
-two structurally identical inputs hit the same entry regardless of how
+CRC-32/Adler-32 over the underlying arrays, see
+:mod:`repro.util.fingerprint`) rather than object ids, so two
+structurally identical inputs hit the same entry regardless of how
 they were constructed, and nothing keeps stale references alive by
 identity.
+
+The store is optionally **bounded**: pass ``max_entries`` and/or
+``max_bytes`` and the least-recently-used artifacts are evicted once
+either budget is exceeded (every ``get_or_compute`` hit refreshes
+recency).  Unbounded remains the default — the figure runners want
+every artifact resident for the duration of a sweep — but long-lived
+services should set a byte budget: route tables and DEF baselines are
+the big entries.  Per-namespace hit/miss/eviction/byte statistics are
+exported by :meth:`ArtifactCache.stats` and surfaced by the
+``python -m repro.api`` CLI (``--stats``).
 """
 
 from __future__ import annotations
 
-import zlib
+import sys
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
+
+from repro.util.fingerprint import fingerprint_arrays
 
 __all__ = [
     "ArtifactCache",
@@ -34,24 +50,6 @@ __all__ = [
     "task_graph_key",
     "machine_key",
 ]
-
-
-def fingerprint_arrays(*arrays: np.ndarray) -> int:
-    """64-bit content fingerprint of a sequence of ndarrays.
-
-    Chains CRC-32 and Adler-32 over each array's bytes and shape; the two
-    checksums land in separate halves of the result so single-checksum
-    collisions do not collide the combined key.
-    """
-    crc = 0
-    adl = 1
-    for a in arrays:
-        arr = np.ascontiguousarray(a)
-        meta = f"{arr.dtype.str}{arr.shape}".encode()
-        data = arr.tobytes()
-        crc = zlib.crc32(data, zlib.crc32(meta, crc))
-        adl = zlib.adler32(data, zlib.adler32(meta, adl))
-    return (crc << 32) | adl
 
 
 def task_graph_key(task_graph) -> int:
@@ -66,13 +64,48 @@ def machine_key(machine) -> int:
     return fingerprint_arrays(dims, machine.alloc_nodes, machine.capacities)
 
 
+def _estimate_nbytes(value: Any, _depth: int = 0) -> int:
+    """Approximate resident bytes of an artifact (ndarray-aware).
+
+    Recurses through the containers artifacts are actually made of —
+    dicts, tuples/lists, dataclass-like objects, ``__slots__`` holders —
+    summing ndarray buffer sizes; everything else falls back to
+    ``sys.getsizeof``.  An estimate is enough: the budget exists to stop
+    unbounded growth, not to account memory exactly.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if _depth >= 4 or value is None:
+        return sys.getsizeof(value) if value is not None else 0
+    if isinstance(value, dict):
+        return sys.getsizeof(value) + sum(
+            _estimate_nbytes(v, _depth + 1) for v in value.values()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sys.getsizeof(value) + sum(
+            _estimate_nbytes(v, _depth + 1) for v in value
+        )
+    if hasattr(value, "__dict__"):
+        return sys.getsizeof(value) + sum(
+            _estimate_nbytes(v, _depth + 1) for v in vars(value).values()
+        )
+    slots = getattr(type(value), "__slots__", None)
+    if slots:
+        return sys.getsizeof(value) + sum(
+            _estimate_nbytes(getattr(value, s, None), _depth + 1) for s in slots
+        )
+    return sys.getsizeof(value)
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one namespace."""
+    """Hit/miss/eviction counters and resident bytes for one namespace."""
 
     hits: int = 0
     misses: int = 0
     size: int = 0
+    evictions: int = 0
+    bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -80,50 +113,112 @@ class CacheStats:
 
 
 class ArtifactCache:
-    """Namespaced ``get_or_compute`` store with per-namespace statistics.
+    """Namespaced ``get_or_compute`` store with LRU bounds and statistics.
 
-    The cache is a plain in-process dictionary — deliberately simple, so
-    it can later be swapped for a bounded/LRU or cross-process store
-    without touching any caller (everything goes through
-    :meth:`get_or_compute`).
+    Parameters
+    ----------
+    max_entries:
+        Evict least-recently-used artifacts once more than this many are
+        stored (``None`` = unbounded).
+    max_bytes:
+        Evict least-recently-used artifacts once the estimated resident
+        bytes exceed this budget (``None`` = unbounded).  A single
+        artifact larger than the whole budget is still computed and
+        returned — it just is not retained.
     """
 
-    def __init__(self) -> None:
-        self._store: Dict[Tuple[str, Hashable], Any] = {}
+    def __init__(
+        self,
+        *,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._store: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
+        self._nbytes: Dict[Tuple[str, Hashable], int] = {}
+        self._total_bytes = 0
         self._stats: Dict[str, CacheStats] = {}
 
     # ------------------------------------------------------------------
     def get_or_compute(
         self, namespace: str, key: Hashable, compute: Callable[[], Any]
     ) -> Any:
-        """Return the cached artifact, computing and storing it on a miss."""
+        """Return the cached artifact, computing and storing it on a miss.
+
+        A hit marks the entry most-recently-used; a miss inserts the
+        computed value and evicts LRU entries past the configured
+        budgets.
+        """
         stats = self._stats.setdefault(namespace, CacheStats())
         full = (namespace, key)
         if full in self._store:
             stats.hits += 1
+            self._store.move_to_end(full)
             return self._store[full]
         stats.misses += 1
         value = compute()
-        self._store[full] = value
-        stats.size += 1
+        self._insert(full, value, stats)
         return value
 
     def get(self, namespace: str, key: Hashable, default: Any = None) -> Any:
-        """Peek without recording a hit/miss or computing anything."""
+        """Peek without recording a hit/miss, refreshing recency or computing."""
         return self._store.get((namespace, key), default)
 
     def put(self, namespace: str, key: Hashable, value: Any) -> None:
-        """Insert (or overwrite) an artifact directly."""
-        full = (namespace, key)
+        """Insert (or overwrite) an artifact directly (most-recently-used)."""
         stats = self._stats.setdefault(namespace, CacheStats())
-        if full not in self._store:
-            stats.size += 1
-        self._store[full] = value
+        self._insert((namespace, key), value, stats)
 
     def __contains__(self, full_key: Tuple[str, Hashable]) -> bool:
         return full_key in self._store
 
     # ------------------------------------------------------------------
+    def _insert(
+        self, full: Tuple[str, Hashable], value: Any, stats: CacheStats
+    ) -> None:
+        if full in self._store:
+            self._drop(full, count_eviction=False)
+        nbytes = _estimate_nbytes(value)
+        self._store[full] = value  # a fresh key lands at the MRU end
+        self._nbytes[full] = nbytes
+        self._total_bytes += nbytes
+        stats.size += 1
+        stats.bytes += nbytes
+        self._evict_over_budget()
+
+    def _over_budget(self) -> bool:
+        if self.max_entries is not None and len(self._store) > self.max_entries:
+            return True
+        if self.max_bytes is not None and self._total_bytes > self.max_bytes:
+            return True
+        return False
+
+    def _evict_over_budget(self) -> None:
+        while self._store and self._over_budget():
+            oldest = next(iter(self._store))
+            self._drop(oldest, count_eviction=True)
+
+    def _drop(self, full: Tuple[str, Hashable], *, count_eviction: bool) -> None:
+        del self._store[full]
+        nbytes = self._nbytes.pop(full, 0)
+        self._total_bytes -= nbytes
+        stats = self._stats.setdefault(full[0], CacheStats())
+        stats.size -= 1
+        stats.bytes -= nbytes
+        if count_eviction:
+            stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Estimated resident bytes of every stored artifact."""
+        return self._total_bytes
+
     def stats(self, namespace: Optional[str] = None):
         """Per-namespace :class:`CacheStats` (or one namespace's)."""
         if namespace is not None:
@@ -134,9 +229,13 @@ class ArtifactCache:
         """Drop all artifacts, or only one namespace's."""
         if namespace is None:
             self._store.clear()
+            self._nbytes.clear()
+            self._total_bytes = 0
             self._stats.clear()
             return
         for full in [k for k in self._store if k[0] == namespace]:
+            nbytes = self._nbytes.pop(full, 0)
+            self._total_bytes -= nbytes
             del self._store[full]
         self._stats.pop(namespace, None)
 
@@ -144,9 +243,23 @@ class ArtifactCache:
         return len(self._store)
 
     def format_stats(self) -> str:
-        """One line per namespace: ``grouping: 6 hits / 2 misses (2 stored)``."""
+        """One line per namespace, e.g. ``grouping: 6 hits / 2 misses (2 stored, 1.2 MB)``."""
         lines = []
         for ns in sorted(self._stats):
             s = self._stats[ns]
-            lines.append(f"{ns}: {s.hits} hits / {s.misses} misses ({s.size} stored)")
+            line = (
+                f"{ns}: {s.hits} hits / {s.misses} misses "
+                f"({s.size} stored, {_format_bytes(s.bytes)}"
+            )
+            if s.evictions:
+                line += f", {s.evictions} evicted"
+            lines.append(line + ")")
         return "\n".join(lines) if lines else "(empty)"
+
+
+def _format_bytes(n: int) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover - unreachable

@@ -86,6 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument(
         "--stats", action="store_true", help="print artifact-cache statistics"
     )
+    p_map.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the artifact cache to N entries (LRU eviction)",
+    )
+    p_map.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the artifact cache to ~N resident bytes (LRU eviction)",
+    )
     return parser
 
 
@@ -147,7 +161,11 @@ def _cmd_map(args: argparse.Namespace) -> int:
         get_spec(a)
 
     tg, machine = _build_workload(args)
-    service = MappingService(cache=ArtifactCache())
+    service = MappingService(
+        cache=ArtifactCache(
+            max_entries=args.cache_entries, max_bytes=args.cache_bytes
+        )
+    )
     responses = service.map_batch(
         MapRequest(
             task_graph=tg,
@@ -183,9 +201,16 @@ def _cmd_map(args: argparse.Namespace) -> int:
         }
         if args.stats:
             payload["cache_stats"] = {
-                ns: {"hits": s.hits, "misses": s.misses, "size": s.size}
+                ns: {
+                    "hits": s.hits,
+                    "misses": s.misses,
+                    "size": s.size,
+                    "evictions": s.evictions,
+                    "bytes": s.bytes,
+                }
                 for ns, s in service.cache.stats().items()
             }
+            payload["cache_total_bytes"] = service.cache.total_bytes
         print(json.dumps(payload, indent=1))
         return 0
 

@@ -165,8 +165,14 @@ class MappingService:
         entry = self.cache.get_or_compute("def_baseline", key, compute)
         if need_metrics and entry["metrics"] is None:
             entry["metrics"] = evaluate_mapping(
-                request.task_graph, request.machine, entry["result"].fine_gamma
+                request.task_graph,
+                request.machine,
+                entry["result"].fine_gamma,
+                cache=self.cache,
             )
+            # Re-put so a bounded cache re-estimates the entry's bytes
+            # (the in-place mutation above is invisible to it).
+            self.cache.put("def_baseline", key, entry)
         return entry
 
     def _run_one(self, request: MapRequest, algo: str) -> MapResponse:
@@ -181,7 +187,10 @@ class MappingService:
             metrics = None
             if request.evaluate:
                 metrics = evaluate_mapping(
-                    request.task_graph, request.machine, result.fine_gamma
+                    request.task_graph,
+                    request.machine,
+                    result.fine_gamma,
+                    cache=self.cache,
                 )
             self.cache.put(
                 "def_baseline",
@@ -201,7 +210,10 @@ class MappingService:
         metrics = None
         if request.evaluate:
             metrics = evaluate_mapping(
-                request.task_graph, request.machine, result.fine_gamma
+                request.task_graph,
+                request.machine,
+                result.fine_gamma,
+                cache=self.cache,
             )
         return MapResponse(
             algorithm=spec.name,
@@ -291,7 +303,9 @@ class MappingService:
         if spec.fallback == "def_mc":
             entry = self._baseline_def(request, need_metrics=True)
             def_result, def_metrics = entry["result"], entry["metrics"]
-            ours = evaluate_mapping(request.task_graph, request.machine, fine)
+            ours = evaluate_mapping(
+                request.task_graph, request.machine, fine, cache=self.cache
+            )
             if ours.mc >= def_metrics.mc:
                 # "If TMAP's MC value is not smaller than the DEF mapping,
                 # it returns the DEF mapping" — compared at rank level.

@@ -220,7 +220,9 @@ def _refine_wh(ctx: StageContext, mapping: Mapping) -> Mapping:
 @register_refine_stage("mc")
 def _refine_mc(ctx: StageContext, mapping: Mapping) -> Mapping:
     """Algorithm 3 with the volume metric (UMC)."""
-    return MCRefiner(delta=ctx.delta, metric="volume").refine(ctx.view, mapping)
+    return MCRefiner(delta=ctx.delta, metric="volume").refine(
+        ctx.view, mapping, cache=ctx.cache
+    )
 
 
 @register_refine_stage("mmc")
@@ -229,10 +231,12 @@ def _refine_mmc(ctx: StageContext, mapping: Mapping) -> Mapping:
 
     Refines on a coarse graph whose edge weights count rank-pair
     messages, so the tracked maximum is the rank-level MMC rather than
-    the (deduplicated) coarse edge count.
+    the (deduplicated) coarse edge count.  The shared cache lets the
+    initial route table come from UMC's run on the same placement —
+    the two variants route identical endpoint pairs.
     """
     return MCRefiner(delta=ctx.delta, metric="message").refine(
-        ctx.message_coarse(), mapping
+        ctx.message_coarse(), mapping, cache=ctx.cache
     )
 
 

@@ -8,6 +8,7 @@ kernels reproduce the scalar reference paths bit for bit (see
 ``tests/test_kernels.py`` and ``tests/test_kernels_golden.py``).
 """
 
+from repro.kernels.congestion import CongestionModel
 from repro.kernels.hoptable import DEFAULT_MATRIX_MAX_NODES, HopTable, hop_table_for
 from repro.kernels.swapgain import (
     all_task_whops,
@@ -18,6 +19,7 @@ from repro.kernels.swapgain import (
 )
 
 __all__ = [
+    "CongestionModel",
     "DEFAULT_MATRIX_MAX_NODES",
     "HopTable",
     "hop_table_for",

@@ -12,23 +12,29 @@ Congestion-driven swap refinement for static-routing networks:
 4. go back to 2; stop when the most congested link admits no improvement.
 
 The paper tracks link congestion in a ``congHeap`` and bounds the search
-with ``Δ = 8`` candidates per task.  Our link state lives in NumPy arrays
-(the most congested link is an ``argmax``); the behaviour — pop order,
-acceptance rule, early exits — follows Algorithm 3 exactly.
+with ``Δ = 8`` candidates per task.  All route/congestion state lives in
+the shared :class:`~repro.kernels.congestion.CongestionModel` (per-edge
+route table, per-link loads, ``commTasks`` CSR — everything incremental);
+this module keeps only the search policy of Algorithm 3: pop order,
+candidate ordering, acceptance rule and early exits follow the paper
+exactly.  The ≤Δ candidates of one search are scored in a single batched
+kernel call (:meth:`CongestionModel.evaluate_swaps`) rather than one
+route enumeration pair per candidate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.graph.task_graph import TaskGraph
+from repro.kernels.congestion import CongestionModel
 from repro.mapping.base import Mapping, validate_mapping
 from repro.mapping.bfs import bfs_node_levels
 from repro.topology.machine import Machine
-from repro.topology.routing import routes_bulk
+from repro.topology.routing import RouteTable, shared_route_table
 
 __all__ = ["MCRefiner"]
 
@@ -49,6 +55,11 @@ class MCRefiner:
         ``task_graph.unit_cost()`` for one message per edge, or a coarse
         graph weighted by fine rank-pair counts as the pipeline does);
         bandwidths are ignored.
+    batch_candidates:
+        Score the ≤Δ candidates of one search in a single batched kernel
+        call (default).  ``False`` probes them one by one through the
+        scalar ``swap_improves`` — same verdicts, kept as the reference
+        path for the batched-vs-scalar property tests.
     """
 
     delta: int = 8
@@ -58,6 +69,7 @@ class MCRefiner:
     #: declaring the pass improvement-free (bounds worst-case sweeps; the
     #: paper's congHeap pops successive links until one improves).
     sweep_limit: int = 4
+    batch_candidates: bool = True
 
     def __post_init__(self) -> None:
         if self.metric not in ("volume", "message"):
@@ -68,7 +80,13 @@ class MCRefiner:
         return "UMC" if self.metric == "volume" else "UMMC"
 
     # ------------------------------------------------------------------
-    def refine(self, task_graph: TaskGraph, mapping: Mapping) -> Mapping:
+    def refine(
+        self,
+        task_graph: TaskGraph,
+        mapping: Mapping,
+        *,
+        cache=None,
+    ) -> Mapping:
         """Refine *mapping* (copy) to lower MC (or MMC) with minimal WH harm.
 
         Links are visited in ``congHeap`` pop order — most congested
@@ -77,9 +95,21 @@ class MCRefiner:
         (recomputed) top; the algorithm stops when a full sweep over the
         loaded links improves nothing, realizing Algorithm 3's "while MC
         or AC is improved" outer loop.
+
+        When an :class:`~repro.api.cache.ArtifactCache` is passed, the
+        initial route table is fetched from (or seeded into) its
+        ``route_table`` namespace, so algorithms routing the same
+        endpoints — UMC and UMMC of one ``map_batch`` — enumerate them
+        once.
         """
         machine = mapping.machine
-        state = _CongestionState(task_graph, machine, mapping.gamma.copy(), self.metric)
+        state = _CongestionState(
+            task_graph,
+            machine,
+            mapping.gamma.copy(),
+            self.metric,
+            route_table=self._shared_route_table(task_graph, mapping, cache),
+        )
         gm = machine.graph()
         sym = task_graph.symmetrized()
         weights = task_graph.loads
@@ -110,6 +140,21 @@ class MCRefiner:
         validate_mapping(state.gamma, machine, weights)
         return Mapping(state.gamma, machine)
 
+    @staticmethod
+    def _shared_route_table(
+        task_graph: TaskGraph, mapping: Mapping, cache
+    ) -> Optional[RouteTable]:
+        """Initial-route sharing through the artifact cache (optional)."""
+        if cache is None:
+            return None  # the model builds its own private table
+        src_t, dst_t, _ = task_graph.graph.edge_list()
+        return shared_route_table(
+            mapping.machine.torus,
+            mapping.gamma[src_t.astype(np.int64)],
+            mapping.gamma[dst_t.astype(np.int64)],
+            cache,
+        )
+
     def _find_swap(
         self,
         tmc: int,
@@ -122,33 +167,49 @@ class MCRefiner:
         """First MC/AC-improving partner among ≤Δ BFS-ordered candidates.
 
         Eligibility is filtered per BFS level in one vectorized shot; the
-        surviving candidates are probed one by one (``swap_improves`` is
-        the expensive part, and the first improving partner wins) until
-        the Δ budget is spent.
+        first Δ surviving candidates are scored in a single batched
+        kernel call and the first improving partner (in BFS order) wins —
+        exactly the partner the scalar probe-one-by-one loop commits.
         """
         nbrs = sym.neighbors(tmc)
         if nbrs.size == 0:
             return None
         seeds = np.unique(state.gamma[nbrs])
         w_tmc = weights[tmc]
-        checked = 0
+        collected: List[np.ndarray] = []
+        total = 0
         for level in bfs_node_levels(gm, seeds.tolist()):
             hosts = state.host[level]
             # host[Γ[tmc]] == tmc subsumes the scalar "skip our own node".
             ok = alloc_mask[level] & (hosts >= 0) & (hosts != tmc)
             cand = hosts[ok]
             cand = cand[weights[cand] == w_tmc]
-            for t in cand.tolist():
-                if checked >= self.delta:
-                    return None
-                checked += 1
+            if cand.size:
+                collected.append(cand)
+                total += int(cand.size)
+                if total >= self.delta:
+                    break
+        if total == 0:
+            return None
+        cands = np.concatenate(collected)[: self.delta]
+        if not self.batch_candidates:
+            for t in cands.tolist():
                 if state.swap_improves(tmc, int(t)):
                     return int(t)
-        return None
+            return None
+        verdicts = state.evaluate_swaps(tmc, cands)
+        hits = np.flatnonzero(verdicts)
+        return int(cands[hits[0]]) if hits.size else None
 
 
-class _CongestionState:
-    """Link loads, commTasks and swap evaluation for Algorithm 3."""
+class _CongestionState(CongestionModel):
+    """Thin façade: the legacy constructor over the shared model.
+
+    Everything Algorithm 3 touches — link loads, ``commTasks``, swap
+    deltas, commits — lives in :class:`CongestionModel`; this subclass
+    only adapts the ``(task_graph, machine, gamma, metric)`` signature
+    the refiner (and the existing tests) use.
+    """
 
     def __init__(
         self,
@@ -156,189 +217,18 @@ class _CongestionState:
         machine: Machine,
         gamma: np.ndarray,
         metric: str,
+        *,
+        route_table: Optional[RouteTable] = None,
     ) -> None:
         self.tg = task_graph
         self.machine = machine
-        self.torus = machine.torus
-        self.gamma = gamma
-        self.metric = metric
-        self.src_t, self.dst_t, self.vol = task_graph.graph.edge_list()
-        self.src_t = self.src_t.astype(np.int64)
-        self.dst_t = self.dst_t.astype(np.int64)
-        bw = self.torus.link_bandwidths()
-        self._inv_bw = np.zeros_like(bw)
-        np.divide(1.0, bw, out=self._inv_bw, where=bw > 0)
-        self.host = np.full(self.torus.num_nodes, -1, dtype=np.int64)
-        self.host[gamma] = np.arange(task_graph.num_tasks)
-        # Per-task incident edge ids (both directions), precomputed once:
-        # swap evaluation is then O(deg·D) instead of scanning all edges.
-        n = task_graph.num_tasks
-        ends = np.concatenate([self.src_t, self.dst_t])
-        eids = np.concatenate([np.arange(self.src_t.shape[0], dtype=np.int64)] * 2)
-        order = np.argsort(ends, kind="stable")
-        counts = np.bincount(ends, minlength=n)
-        self._inc_ptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=self._inc_ptr[1:])
-        self._inc_ids = eids[order]
-        self._rebuild()
-
-    def _incident_edges(self, t1: int, t2: int) -> np.ndarray:
-        """Distinct edge ids touching either task."""
-        a = self._inc_ids[self._inc_ptr[t1] : self._inc_ptr[t1 + 1]]
-        b = self._inc_ids[self._inc_ptr[t2] : self._inc_ptr[t2 + 1]]
-        return np.unique(np.concatenate([a, b]))
-
-    # -- full (cheap) recomputation ------------------------------------
-    def _rebuild(self) -> None:
-        self._commits_since_rebuild = 0
-        nl = self.torus.num_links
-        self.msgs = np.zeros(nl, dtype=np.float64)
-        self.vols = np.zeros(nl, dtype=np.float64)
-        src_n = self.gamma[self.src_t]
-        dst_n = self.gamma[self.dst_t]
-        keep = src_n != dst_n
-        links, msg = routes_bulk(self.torus, src_n[keep], dst_n[keep])
-        vols = self.vol[keep]
-        if links.size:
-            np.add.at(self.msgs, links, 1.0)
-            np.add.at(self.vols, links, vols[msg])
-        # commTasks: link -> tasks with a message through it (both
-        # endpoints of the message can move the route).
-        self.comm_tasks: Dict[int, List[int]] = {}
-        if links.size:
-            edge_ids = np.flatnonzero(keep)[msg]
-            for l, e in zip(links.tolist(), edge_ids.tolist()):
-                bucket = self.comm_tasks.setdefault(l, [])
-                bucket.append(int(self.src_t[e]))
-                bucket.append(int(self.dst_t[e]))
-
-    # -- metric views -----------------------------------------------------
-    def _load(self) -> np.ndarray:
-        """The per-link congestion the refiner optimizes (VC or messages).
-
-        ``message`` mode reads ``self.vols`` too: the pipeline hands the
-        message variant a coarse graph whose edge *weights* are fine
-        message multiplicities, so the tracked maximum is exactly the
-        rank-level MMC (a coarse edge aggregates many rank pairs).
-        """
-        if self.metric == "volume":
-            return self.vols * self._inv_bw
-        return self.vols
-
-    def most_congested_link(self) -> int:
-        load = self._load()
-        top = int(np.argmax(load))
-        return top if load[top] > _EPS else -1
-
-    def tasks_through(self, link: int) -> List[int]:
-        """Distinct tasks routed through *link*, heaviest sender first."""
-        tasks = self.comm_tasks.get(int(link), [])
-        seen: Set[int] = set()
-        ordered: List[int] = []
-        for t in tasks:
-            if t not in seen:
-                seen.add(t)
-                ordered.append(t)
-        return ordered
-
-    def current_mc_ac(self) -> Tuple[float, float]:
-        load = self._load()
-        used = self.msgs > 0
-        n_used = int(np.count_nonzero(used))
-        mc = float(load.max()) if n_used else 0.0
-        ac = float(load.sum() / n_used) if n_used else 0.0
-        return mc, ac
-
-    # -- swap machinery ----------------------------------------------------
-    def _swap_deltas(
-        self, t1: int, t2: int
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Sparse per-link (links, d_msgs, d_vols) of swapping Γ[t1]↔Γ[t2]."""
-        edges = self._incident_edges(t1, t2)
-        n1, n2 = int(self.gamma[t1]), int(self.gamma[t2])
-        old_src = self.gamma[self.src_t[edges]]
-        old_dst = self.gamma[self.dst_t[edges]]
-
-        def translate(nodes: np.ndarray, task_ids: np.ndarray) -> np.ndarray:
-            moved = (task_ids == t1) | (task_ids == t2)
-            out = nodes.copy()
-            out[moved] = np.where(task_ids[moved] == t1, n2, n1)
-            return out
-
-        new_src = translate(old_src, self.src_t[edges])
-        new_dst = translate(old_dst, self.dst_t[edges])
-        vols = self.vol[edges]
-
-        keep_old = old_src != old_dst
-        keep_new = new_src != new_dst
-        links_o, msg_o = routes_bulk(self.torus, old_src[keep_old], old_dst[keep_old])
-        links_n, msg_n = routes_bulk(self.torus, new_src[keep_new], new_dst[keep_new])
-        all_links = np.concatenate([links_o, links_n])
-        d_msg = np.concatenate([-np.ones_like(links_o, dtype=np.float64),
-                                np.ones_like(links_n, dtype=np.float64)])
-        d_vol = np.concatenate([-vols[keep_old][msg_o], vols[keep_new][msg_n]])
-        if all_links.size == 0:
-            return (np.empty(0, dtype=np.int64),) * 3  # type: ignore[return-value]
-        uniq, inv = np.unique(all_links, return_inverse=True)
-        dm = np.bincount(inv, weights=d_msg, minlength=uniq.shape[0])
-        dv = np.bincount(inv, weights=d_vol, minlength=uniq.shape[0])
-        return uniq, dm, dv
-
-    def swap_improves(self, t1: int, t2: int) -> bool:
-        """Virtual swap: does MC improve — or AC at equal MC?"""
-        links, dm, dv = self._swap_deltas(t1, t2)
-        if links.size == 0:
-            return False
-        load = self._load()
-        mc, ac = self.current_mc_ac()
-        new_changed = (
-            (self.vols[links] + dv) * self._inv_bw[links]
-            if self.metric == "volume"
-            else self.vols[links] + dv
+        src_t, dst_t, vol = task_graph.graph.edge_list()
+        super().__init__(
+            machine.torus,
+            src_t,
+            dst_t,
+            vol,
+            gamma,
+            metric=metric,
+            route_table=route_table,
         )
-        # Max over unchanged links: cheap when the argmax is untouched.
-        top = int(np.argmax(load))
-        if top in set(links.tolist()):
-            mask = np.ones(load.shape[0], dtype=bool)
-            mask[links] = False
-            max_unchanged = float(load[mask].max()) if mask.any() else 0.0
-        else:
-            max_unchanged = float(load[top])
-        new_mc = max(max_unchanged, float(new_changed.max()) if new_changed.size else 0.0)
-        if new_mc < mc - _EPS:
-            return True
-        if new_mc > mc + _EPS:
-            return False
-        # Equal MC: accept on AC improvement.
-        new_msgs = self.msgs.copy()
-        new_msgs[links] += dm
-        used_new = int(np.count_nonzero(new_msgs > _EPS))
-        if self.metric == "volume":
-            total_new = float((self.vols * self._inv_bw).sum() + (dv * self._inv_bw[links]).sum())
-        else:
-            total_new = float(self.vols.sum() + dv.sum())
-        new_ac = total_new / used_new if used_new else 0.0
-        return new_ac < ac - _EPS
-
-    def commit_swap(self, t1: int, t2: int) -> None:
-        """Apply the swap: exact sparse load deltas + lazy commTasks refresh.
-
-        The per-link deltas are exact (see the delta-vs-rebuild property
-        test), so the load arrays update in O(deg·D).  ``commTasks`` is a
-        search index, not a correctness structure; it is refreshed in full
-        only every few commits — matching the paper's cost accounting,
-        where heap updates rather than route recomputation dominate.
-        """
-        links, dm, dv = self._swap_deltas(t1, t2)
-        self.msgs[links] += dm
-        self.vols[links] += dv
-        np.maximum(self.msgs, 0.0, out=self.msgs)
-        np.maximum(self.vols, 0.0, out=self.vols)
-        n1, n2 = int(self.gamma[t1]), int(self.gamma[t2])
-        self.gamma[t1] = n2
-        self.gamma[t2] = n1
-        self.host[n1] = t2
-        self.host[n2] = t1
-        self._commits_since_rebuild += 1
-        if self._commits_since_rebuild >= 8:
-            self._rebuild()

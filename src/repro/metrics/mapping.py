@@ -15,19 +15,25 @@ Given a mapping ``Γ : tasks -> nodes``, the well-received metrics are:
 
 Everything is computed in one vectorized pass over the static routes of
 all messages (at most ``|Et| · D`` link crossings, D = torus diameter).
+The routes come from the shared :class:`~repro.topology.routing.RouteTable`
+subsystem — pass ``route_table=`` to reuse one you already hold, or
+``cache=`` (an :class:`~repro.api.cache.ArtifactCache`) to share the
+enumeration with every other consumer keyed on the same endpoints (the
+congestion refiners, the flow simulator, repeated evaluations of the
+same mapping).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.graph.task_graph import TaskGraph
 from repro.kernels import hop_table_for, total_weighted_hops
 from repro.topology.machine import Machine
-from repro.topology.routing import routes_bulk
+from repro.topology.routing import RouteTable, shared_route_table
 
 __all__ = ["MappingMetrics", "evaluate_mapping", "link_congestion"]
 
@@ -83,32 +89,33 @@ def link_congestion(
     task_graph: TaskGraph,
     machine: Machine,
     gamma: np.ndarray,
+    *,
+    cache=None,
+    route_table: Optional[RouteTable] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-link (message_count, volume) arrays over the directed links.
 
     Realizes Eq. (1) for all links at once.  Intra-node messages
-    (``Γ(t1) == Γ(t2)``) use no links and are skipped.
+    (``Γ(t1) == Γ(t2)``) use no links and contribute nothing (their
+    route segments are empty).  A *route_table* passed in must index the
+    edges' endpoint pairs under *gamma*, in edge-list order.
     """
     gamma = _validate_gamma(task_graph, machine, gamma)
     src_t, dst_t, vol = task_graph.graph.edge_list()
-    src_n = gamma[src_t]
-    dst_n = gamma[dst_t]
-    keep = src_n != dst_n
-    src_n, dst_n, vol = src_n[keep], dst_n[keep], vol[keep]
-    torus = machine.torus
-    msgs = np.zeros(torus.num_links, dtype=np.float64)
-    vols = np.zeros(torus.num_links, dtype=np.float64)
-    links, msg = routes_bulk(torus, src_n, dst_n)
-    if links.size:
-        np.add.at(msgs, links, 1.0)
-        np.add.at(vols, links, vol[msg])
-    return msgs, vols
+    if route_table is None:
+        route_table = shared_route_table(
+            machine.torus, gamma[src_t], gamma[dst_t], cache
+        )
+    return route_table.accumulate(vol)
 
 
 def evaluate_mapping(
     task_graph: TaskGraph,
     machine: Machine,
     gamma: np.ndarray,
+    *,
+    cache=None,
+    route_table: Optional[RouteTable] = None,
 ) -> MappingMetrics:
     """Compute TH, WH, MMC, MC, AMC and AC for mapping *gamma*.
 
@@ -125,7 +132,9 @@ def evaluate_mapping(
     th = float(dilation.sum())
     wh = float((dilation * vol).sum())
 
-    msgs, vols = link_congestion(task_graph, machine, gamma)
+    msgs, vols = link_congestion(
+        task_graph, machine, gamma, cache=cache, route_table=route_table
+    )
     bw = torus.link_bandwidths()
     used = msgs > 0
     n_used = int(np.count_nonzero(used))

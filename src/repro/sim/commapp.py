@@ -44,10 +44,15 @@ class CommOnlyApp:
     noise:
         Multiplicative log-normal noise std-dev applied per repetition
         (models "network traffic and overhead from competing jobs").
+    cache:
+        Optional :class:`~repro.api.cache.ArtifactCache` shared with the
+        flow simulator, so the messages' route table is enumerated once
+        per (endpoints, torus) across metrics and simulation.
     """
 
     scale: float = 4096.0
     noise: float = 0.02
+    cache: object = None
 
     def run(
         self,
@@ -77,7 +82,7 @@ class CommOnlyApp:
         dst_n = gamma[dst_t]
         sizes = vol * self.scale
 
-        sim = FlowSimulator(machine.torus)
+        sim = FlowSimulator(machine.torus, cache=self.cache)
         result = sim.simulate(src_n, dst_n, sizes)
 
         # Per-rank injection: every send/receive pays the MPI software

@@ -21,10 +21,11 @@ application layers, not here.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
-from repro.topology.routing import routes_bulk
+from repro.topology.routing import RouteTable, shared_route_table
 from repro.topology.torus import BASE_LATENCY_S, HOP_LATENCY_S, Torus3D
 
 __all__ = ["FlowSimulator", "FlowResult"]
@@ -55,6 +56,11 @@ class FlowSimulator:
     completion_quantile:
         Fraction of active flows guaranteed to finish per round; smaller
         values are more accurate and slower.
+    cache:
+        Optional :class:`~repro.api.cache.ArtifactCache`; when given,
+        the flows' route table is fetched from (or seeded into) its
+        ``route_table`` namespace — the same entries the congestion
+        metrics and refiners key on the same endpoints.
     """
 
     def __init__(
@@ -63,12 +69,14 @@ class FlowSimulator:
         *,
         completion_quantile: float = 0.05,
         max_rounds: int = 20_000,
+        cache=None,
     ) -> None:
         self.torus = torus
         if not (0.0 < completion_quantile <= 1.0):
             raise ValueError("completion_quantile must be in (0, 1]")
         self.completion_quantile = completion_quantile
         self.max_rounds = max_rounds
+        self.cache = cache
 
     # ------------------------------------------------------------------
     def simulate(
@@ -76,10 +84,14 @@ class FlowSimulator:
         src_nodes: np.ndarray,
         dst_nodes: np.ndarray,
         sizes_bytes: np.ndarray,
+        *,
+        route_table: Optional[RouteTable] = None,
     ) -> FlowResult:
         """Simulate all messages starting at t=0; returns finish times.
 
         Intra-node messages (``src == dst``) finish at the base latency.
+        A *route_table* passed in must index the ``(src, dst)`` pairs in
+        message order (intra-node pairs own empty segments).
         """
         src = np.asarray(src_nodes, dtype=np.int64)
         dst = np.asarray(dst_nodes, dtype=np.int64)
@@ -100,11 +112,11 @@ class FlowSimulator:
         if idx.size == 0:
             return FlowResult(finish, float(finish.max()), 0)
 
-        links, msg = routes_bulk(self.torus, src[idx], dst[idx])
-        # CSR flow -> its route links.
-        order = np.argsort(msg, kind="stable")
-        flow_links = links[order]
-        counts = np.bincount(msg, minlength=idx.size)
+        if route_table is None:
+            route_table = shared_route_table(self.torus, src, dst, self.cache)
+        # CSR flow -> its route links (network flows only; intra-node
+        # pairs hold empty segments in the table).
+        flow_links, counts = route_table.gather(idx)
         flow_ptr = np.zeros(idx.size + 1, dtype=np.int64)
         np.cumsum(counts, out=flow_ptr[1:])
 

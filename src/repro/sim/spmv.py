@@ -47,10 +47,14 @@ class SpMVSimulator:
         1000 for the second).
     noise:
         Log-normal per-run noise std-dev.
+    cache:
+        Optional :class:`~repro.api.cache.ArtifactCache` shared with the
+        flow simulator (route tables enumerated once per endpoints).
     """
 
     iterations: int = 500
     noise: float = 0.02
+    cache: object = None
 
     def run(
         self,
@@ -89,7 +93,7 @@ class SpMVSimulator:
         dst_n = gamma[dst_t]
         sizes = vol * WORD_BYTES
 
-        sim = FlowSimulator(machine.torus)
+        sim = FlowSimulator(machine.torus, cache=self.cache)
         result = sim.simulate(src_n, dst_n, sizes)
 
         # Serialized injection: a rank issues its messages one by one;

@@ -7,11 +7,15 @@ the routing function down deterministically — the paper's congestion
 metrics assume "the messages are not split and sent through only a single
 path via static routing").
 
-The module exposes both a scalar route enumerator (:func:`route`) and the
-bulk, fully vectorized :func:`routes_bulk` used by the congestion metrics
-and Algorithm 3's ``commTasks`` construction: for ``|Et|`` messages the
-output has at most ``|Et| * D`` entries (D = torus diameter), matching the
-paper's complexity accounting.
+The module exposes a scalar route enumerator (:func:`route`), the bulk,
+fully vectorized :func:`routes_bulk` (for ``|Et|`` messages the output
+has at most ``|Et| * D`` entries, D = torus diameter, matching the
+paper's complexity accounting), and :class:`RouteTable` — the CSR
+``pair -> directed link ids`` view of many routes that the congestion
+subsystem (:class:`repro.kernels.congestion.CongestionModel`), the
+mapping metrics and the flow simulator all share: routes are enumerated
+once per (endpoints, torus) content key and then read (or delta-updated)
+in place instead of re-enumerated per consumer.
 """
 
 from __future__ import annotations
@@ -22,7 +26,15 @@ import numpy as np
 
 from repro.topology.torus import Torus3D
 
-__all__ = ["route", "routes_bulk", "route_lengths", "link_loads"]
+__all__ = [
+    "route",
+    "routes_bulk",
+    "route_lengths",
+    "link_loads",
+    "RouteTable",
+    "route_table_key",
+    "shared_route_table",
+]
 
 
 def _dim_plan(
@@ -107,10 +119,11 @@ def routes_bulk(
             sign = np.where(direction == 0, 1, -1)[msg]
             coord_t = (cur[msg, dim] + sign * t) % size
             # Rebuild the id of the node the packet occupies at step t.
-            x = np.where(dim == 0, coord_t, cur[msg, 0])
-            y = np.where(dim == 1, coord_t, cur[msg, 1])
-            z = np.where(dim == 2, coord_t, cur[msg, 2])
-            node_t = x + nx * (y + ny * z)
+            # (``cur[msg]`` fancy-indexes a fresh copy, so the column
+            # assignment cannot leak back into ``cur``.)
+            c = cur[msg]
+            c[:, dim] = coord_t
+            node_t = c[:, 0] + nx * (c[:, 1] + ny * c[:, 2])
             link = node_t * 6 + dim * 2 + np.where(sign[...] == 1, 0, 1)
             all_links.append(link)
             all_msgs.append(msg)
@@ -150,3 +163,174 @@ def _ranges(counts: np.ndarray) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
     block_starts = np.cumsum(counts) - counts
     return np.arange(total, dtype=np.int64) - np.repeat(block_starts, counts)
+
+
+# ---------------------------------------------------------------------------
+# RouteTable — the shared CSR view of many static routes.
+# ---------------------------------------------------------------------------
+
+
+class RouteTable:
+    """CSR routes of ``M`` (src, dst) pairs: ``ptr`` int64[M+1], ``links``.
+
+    ``links[ptr[i]:ptr[i+1]]`` are the directed link ids of pair *i*'s
+    static route in traversal order (X hops, then Y, then Z, hop by hop);
+    intra-node pairs own an empty segment, so a table can index a full
+    edge list without filtering.  The table is the single route store
+    shared by the congestion model (which delta-updates it in place via
+    :meth:`replace_routes`), the congestion metrics and the flow
+    simulator — and, through the API's artifact cache, across algorithms
+    of one ``map_batch``.
+    """
+
+    __slots__ = ("num_links", "ptr", "links")
+
+    def __init__(self, ptr: np.ndarray, links: np.ndarray, num_links: int) -> None:
+        self.ptr = np.asarray(ptr, dtype=np.int64)
+        self.links = np.asarray(links, dtype=np.int64)
+        self.num_links = int(num_links)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def build(cls, torus: Torus3D, src: np.ndarray, dst: np.ndarray) -> "RouteTable":
+        """Enumerate and index the routes of many pairs (one bulk pass)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        links, msg = routes_bulk(torus, src, dst)
+        return cls.from_bulk(src.shape[0], links, msg, torus.num_links)
+
+    @classmethod
+    def from_bulk(
+        cls, num_pairs: int, links: np.ndarray, msg: np.ndarray, num_links: int
+    ) -> "RouteTable":
+        """Reorder a ``routes_bulk`` result (dimension-major) into CSR.
+
+        The stable sort by pair preserves each route's traversal order.
+        """
+        order = np.argsort(msg, kind="stable")
+        counts = np.bincount(msg, minlength=num_pairs)
+        ptr = np.zeros(num_pairs + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        return cls(ptr, links[order], num_links)
+
+    # -- views ---------------------------------------------------------
+    @property
+    def num_pairs(self) -> int:
+        return self.ptr.shape[0] - 1
+
+    @property
+    def num_entries(self) -> int:
+        return self.links.shape[0]
+
+    def counts(self) -> np.ndarray:
+        """int64[M]: hop count of each pair's route."""
+        return np.diff(self.ptr)
+
+    def links_of(self, pair: int) -> np.ndarray:
+        """Directed link ids of pair *pair*'s route (view, do not write)."""
+        return self.links[self.ptr[pair] : self.ptr[pair + 1]]
+
+    def pair_of_entry(self) -> np.ndarray:
+        """int64[num_entries]: owning pair of each CSR entry."""
+        return np.repeat(np.arange(self.num_pairs, dtype=np.int64), self.counts())
+
+    def gather(self, pairs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(links, counts)`` of the requested pairs' segments, concatenated."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        lo = self.ptr[pairs]
+        counts = self.ptr[pairs + 1] - lo
+        idx = np.repeat(lo, counts) + _ranges(counts)
+        return self.links[idx], counts
+
+    def accumulate(self, volumes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-link ``(message_count, volume)`` over all routed pairs.
+
+        Realizes Eq. (1) of the paper for every directed link at once —
+        the congestion metrics' and the congestion model's load arrays.
+        """
+        volumes = np.asarray(volumes, dtype=np.float64)
+        msgs = np.bincount(self.links, minlength=self.num_links).astype(np.float64)
+        vols = np.zeros(self.num_links, dtype=np.float64)
+        if self.links.size:
+            np.add.at(vols, self.links, np.repeat(volumes, self.counts()))
+        return msgs, vols
+
+    def copy(self) -> "RouteTable":
+        """Independent copy (mutation via :meth:`replace_routes` is in place)."""
+        return RouteTable(self.ptr.copy(), self.links.copy(), self.num_links)
+
+    # -- delta updates -------------------------------------------------
+    def replace_routes(
+        self, pairs: np.ndarray, new_links: np.ndarray, new_counts: np.ndarray
+    ) -> None:
+        """Splice new route segments for *pairs* into the CSR arrays.
+
+        ``new_links`` holds the replacement segments concatenated in
+        *pairs* order (traversal order within each pair); ``new_counts``
+        aligns with *pairs*.  Cost is O(num_entries) array copies — no
+        route enumeration — which is what keeps congestion-model commits
+        at O(deg·D) routing work.
+        """
+        pairs = np.asarray(pairs, dtype=np.int64)
+        new_counts = np.asarray(new_counts, dtype=np.int64)
+        counts = np.diff(self.ptr)
+        moved = np.zeros(self.num_pairs, dtype=bool)
+        moved[pairs] = True
+        keep_entries = ~np.repeat(moved, counts)
+
+        next_counts = counts.copy()
+        next_counts[pairs] = new_counts
+        next_ptr = np.zeros(self.num_pairs + 1, dtype=np.int64)
+        np.cumsum(next_counts, out=next_ptr[1:])
+        out = np.empty(int(next_ptr[-1]), dtype=np.int64)
+
+        kept_pairs_of_entry = np.repeat(
+            np.arange(self.num_pairs, dtype=np.int64), counts
+        )[keep_entries]
+        offsets = _ranges(counts)[keep_entries]
+        out[next_ptr[kept_pairs_of_entry] + offsets] = self.links[keep_entries]
+
+        dest_pairs = np.repeat(pairs, new_counts)
+        out[next_ptr[dest_pairs] + _ranges(new_counts)] = np.asarray(
+            new_links, dtype=np.int64
+        )
+        self.ptr = next_ptr
+        self.links = out
+
+
+def shared_route_table(
+    torus: Torus3D, src: np.ndarray, dst: np.ndarray, cache=None
+) -> RouteTable:
+    """Build the endpoints' route table, through a cache when given.
+
+    *cache* is an :class:`~repro.api.cache.ArtifactCache` (duck-typed:
+    anything with ``get_or_compute``); the single ``route_table``
+    namespace and :func:`route_table_key` keying live here so every
+    consumer — the MC/MMC refiners, the congestion metrics, the flow
+    simulator — shares one entry per (torus, endpoints).  Callers that
+    mutate the table (the congestion model) must copy it first.
+    """
+    if cache is None:
+        return RouteTable.build(torus, src, dst)
+    return cache.get_or_compute(
+        "route_table",
+        route_table_key(torus, src, dst),
+        lambda: RouteTable.build(torus, src, dst),
+    )
+
+
+def route_table_key(torus: Torus3D, src: np.ndarray, dst: np.ndarray) -> int:
+    """Content cache key of a :class:`RouteTable` build.
+
+    Static dimension-ordered routes depend only on the torus dimensions
+    and the endpoint pairs, so the key fingerprints exactly those — two
+    algorithms routing the same endpoints on the same torus share one
+    table regardless of which graph or mapping produced the pairs.
+    """
+    from repro.util.fingerprint import fingerprint_arrays
+
+    dims = np.asarray(torus.dims, dtype=np.int64)
+    return fingerprint_arrays(
+        dims, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+    )
+

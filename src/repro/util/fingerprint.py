@@ -1,0 +1,38 @@
+"""Content fingerprints for ndarray-backed artifacts.
+
+Cache keys across the repo (the :class:`repro.api.cache.ArtifactCache`
+namespaces, shared :class:`repro.topology.routing.RouteTable` entries)
+are *content* fingerprints rather than object identities, so two
+structurally identical inputs hit the same entry regardless of how they
+were constructed and nothing keeps stale references alive by identity.
+
+This lives in :mod:`repro.util` (not the API layer) because every layer
+fingerprints arrays: topology keys route tables, the mapping refiners
+and metrics share them, and the API cache keys everything else.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["fingerprint_arrays"]
+
+
+def fingerprint_arrays(*arrays: np.ndarray) -> int:
+    """64-bit content fingerprint of a sequence of ndarrays.
+
+    Chains CRC-32 and Adler-32 over each array's bytes and shape; the two
+    checksums land in separate halves of the result so single-checksum
+    collisions do not collide the combined key.
+    """
+    crc = 0
+    adl = 1
+    for a in arrays:
+        arr = np.ascontiguousarray(a)
+        meta = f"{arr.dtype.str}{arr.shape}".encode()
+        data = arr.tobytes()
+        crc = zlib.crc32(data, zlib.crc32(meta, crc))
+        adl = zlib.adler32(data, zlib.adler32(meta, adl))
+    return (crc << 32) | adl

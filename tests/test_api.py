@@ -331,6 +331,28 @@ class TestBatchCaching:
         stats = service.cache.stats("grouping")
         assert stats.misses == 1 and stats.hits == 1
 
+    def test_umc_ummc_share_initial_route_table(self, setup):
+        """UMC and UMMC refine the same placement → one route enumeration."""
+        tg, machine = setup
+        service = MappingService()
+        service.map_batch(
+            MapRequest(
+                task_graph=tg, machine=machine, algorithms=("UMC", "UMMC"), seed=2
+            )
+        )
+        stats = service.cache.stats("route_table")
+        assert stats.hits >= 1  # UMMC reused UMC's initial table
+        # ...and the batched path still equals the standalone runs.
+        solo = MappingService()
+        for algo in ("UMC", "UMMC"):
+            r = solo.map(
+                MapRequest(task_graph=tg, machine=machine, algorithms=algo, seed=2)
+            )
+            b = service.map(
+                MapRequest(task_graph=tg, machine=machine, algorithms=algo, seed=2)
+            )
+            np.testing.assert_array_equal(r.result.fine_gamma, b.result.fine_gamma)
+
 
 class TestArtifactCache:
     def test_get_or_compute_and_stats(self):
@@ -424,6 +446,37 @@ class TestCli:
             assert r["metrics"]["WH"] > 0
         # UWH reused UG's grouping inside the batch.
         assert payload["cache_stats"]["grouping"]["hits"] >= 1
+        # The stats hook exposes the LRU accounting fields.
+        for s in payload["cache_stats"].values():
+            assert {"hits", "misses", "size", "evictions", "bytes"} <= set(s)
+        assert payload["cache_total_bytes"] > 0
+
+    def test_cli_map_bounded_cache(self, capsys):
+        from repro.api.cli import main
+
+        rc = main(
+            [
+                "map",
+                "--matrix",
+                "cage15_like",
+                "--algos",
+                "UG,UWH,UMC",
+                "--procs",
+                "32",
+                "--ppn",
+                "4",
+                "--cache-entries",
+                "2",
+                "--json",
+                "--stats",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["algorithm"] for r in payload["results"]] == ["UG", "UWH", "UMC"]
+        total_stored = sum(s["size"] for s in payload["cache_stats"].values())
+        assert total_stored <= 2
+        assert sum(s["evictions"] for s in payload["cache_stats"].values()) >= 1
 
     def test_cli_map_unknown_algo_errors(self, capsys):
         from repro.api.cli import main

@@ -1,0 +1,114 @@
+"""Tests for the bounded (LRU) ArtifactCache."""
+
+import numpy as np
+import pytest
+
+from repro.api.cache import ArtifactCache
+
+
+def fill(cache, keys, nbytes=0):
+    for k in keys:
+        value = np.zeros(nbytes // 8, dtype=np.float64) if nbytes else k
+        cache.get_or_compute("ns", k, lambda v=value: v)
+
+
+class TestUnbounded:
+    def test_default_never_evicts(self):
+        cache = ArtifactCache()
+        fill(cache, range(100))
+        assert len(cache) == 100
+        assert cache.stats("ns").evictions == 0
+
+    def test_total_bytes_tracks_arrays(self):
+        cache = ArtifactCache()
+        cache.put("ns", "a", np.zeros(1000, dtype=np.float64))
+        assert cache.total_bytes >= 8000
+
+
+class TestEntryBudget:
+    def test_lru_eviction_order(self):
+        cache = ArtifactCache(max_entries=2)
+        fill(cache, ["a", "b", "c"])
+        assert cache.get("ns", "a") is None  # oldest evicted
+        assert cache.get("ns", "b") == "b"
+        assert cache.get("ns", "c") == "c"
+        assert cache.stats("ns").evictions == 1
+        assert cache.stats("ns").size == 2
+
+    def test_hit_refreshes_recency(self):
+        cache = ArtifactCache(max_entries=2)
+        fill(cache, ["a", "b"])
+        cache.get_or_compute("ns", "a", lambda: "recomputed")  # hit: a is MRU
+        fill(cache, ["c"])  # evicts b, not a
+        assert cache.get("ns", "a") == "a"
+        assert cache.get("ns", "b") is None
+        assert cache.get("ns", "c") == "c"
+
+    def test_put_overwrite_does_not_double_count(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("ns", "a", "one")
+        cache.put("ns", "a", "two")
+        assert len(cache) == 1
+        assert cache.stats("ns").size == 1
+        assert cache.get("ns", "a") == "two"
+
+    def test_eviction_spans_namespaces(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("n1", "a", "a")
+        cache.put("n2", "b", "b")
+        cache.put("n3", "c", "c")
+        assert cache.get("n1", "a") is None
+        assert cache.stats("n1").evictions == 1
+        assert cache.stats("n1").size == 0
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ArtifactCache(max_bytes=0)
+
+
+class TestByteBudget:
+    def test_evicts_until_under_budget(self):
+        cache = ArtifactCache(max_bytes=25_000)
+        fill(cache, ["a", "b", "c"], nbytes=8_000)
+        # three 8 KB arrays fit; a fourth pushes the oldest out
+        fill(cache, ["d"], nbytes=8_000)
+        assert cache.get("ns", "a") is None
+        assert cache.get("ns", "d") is not None
+        assert cache.total_bytes <= 25_000
+
+    def test_oversized_artifact_still_returned(self):
+        cache = ArtifactCache(max_bytes=1_000)
+        big = np.zeros(10_000, dtype=np.float64)
+        out = cache.get_or_compute("ns", "big", lambda: big)
+        assert out is big  # computed and returned...
+        assert cache.get("ns", "big") is None  # ...but not retained
+        assert cache.total_bytes == 0
+
+    def test_bytes_stats_consistent_after_eviction(self):
+        cache = ArtifactCache(max_bytes=20_000)
+        fill(cache, ["a", "b", "c", "d"], nbytes=8_000)
+        s = cache.stats("ns")
+        assert s.bytes == cache.total_bytes
+        assert s.size == len(cache)
+        assert s.evictions >= 1
+
+    def test_clear_resets_bytes(self):
+        cache = ArtifactCache(max_bytes=100_000)
+        fill(cache, ["a", "b"], nbytes=8_000)
+        cache.clear("ns")
+        assert cache.total_bytes == 0
+        assert len(cache) == 0
+
+
+class TestEvictedRecompute:
+    def test_eviction_then_miss_recomputes(self):
+        cache = ArtifactCache(max_entries=1)
+        calls = []
+        cache.get_or_compute("ns", "a", lambda: calls.append("a") or "va")
+        cache.get_or_compute("ns", "b", lambda: calls.append("b") or "vb")
+        out = cache.get_or_compute("ns", "a", lambda: calls.append("a2") or "va2")
+        assert out == "va2"
+        assert calls == ["a", "b", "a2"]
+        assert cache.stats("ns").misses == 3

@@ -5,8 +5,44 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.topology.routing import link_loads, route, route_lengths, routes_bulk
+from repro.topology.routing import (
+    RouteTable,
+    link_loads,
+    route,
+    route_lengths,
+    route_table_key,
+    routes_bulk,
+)
 from repro.topology.torus import Torus3D
+
+
+def reference_routes_bulk(torus, src, dst):
+    """Slow scalar re-implementation pinning routes_bulk's exact output.
+
+    Dimension-major over messages, hop by hop — the order ``commTasks``
+    bucket construction and every load accumulation depend on.
+    """
+    coords = torus.coords()
+    cur = coords[np.asarray(src, dtype=np.int64)].copy()
+    cv = coords[np.asarray(dst, dtype=np.int64)]
+    nx, ny, _ = torus.dims
+    links, msgs = [], []
+    for dim in range(3):
+        size = torus.dims[dim]
+        for i in range(cur.shape[0]):
+            fwd = (cv[i, dim] - cur[i, dim]) % size
+            bwd = size - fwd
+            if fwd == 0:
+                continue
+            steps, sign = (fwd, 1) if fwd <= bwd else (bwd, -1)
+            c = cur[i].copy()
+            for _ in range(steps):
+                node = c[0] + nx * (c[1] + ny * c[2])
+                links.append(int(node * 6 + dim * 2 + (0 if sign == 1 else 1)))
+                msgs.append(i)
+                c[dim] = (c[dim] + sign) % size
+        cur[:, dim] = cv[:, dim]
+    return links, msgs
 
 
 @pytest.fixture(scope="module")
@@ -73,6 +109,74 @@ class TestBulk:
         src = np.array([0, 1])
         dst = np.array([5, 1])
         assert np.array_equal(route_lengths(torus, src, dst), torus.hop_distance(src, dst))
+
+    def test_bulk_exact_output_order(self, torus):
+        """routes_bulk output (content AND order) matches the reference.
+
+        Pins the dimension-major traversal order after the node-id
+        reconstruction micro-fix (index-assign instead of three
+        ``np.where`` full-array builds).
+        """
+        rng = np.random.default_rng(5)
+        src = rng.integers(0, torus.num_nodes, size=40)
+        dst = rng.integers(0, torus.num_nodes, size=40)
+        links, msg = routes_bulk(torus, src, dst)
+        ref_links, ref_msgs = reference_routes_bulk(torus, src, dst)
+        assert links.tolist() == ref_links
+        assert msg.tolist() == ref_msgs
+
+
+class TestRouteTable:
+    def test_csr_matches_bulk(self, torus):
+        rng = np.random.default_rng(6)
+        src = rng.integers(0, torus.num_nodes, size=25)
+        dst = rng.integers(0, torus.num_nodes, size=25)
+        table = RouteTable.build(torus, src, dst)
+        assert table.num_pairs == 25
+        for i in range(25):
+            assert table.links_of(i).tolist() == route(torus, int(src[i]), int(dst[i]))
+
+    def test_intra_node_pairs_have_empty_segments(self, torus):
+        table = RouteTable.build(torus, np.array([3, 4]), np.array([3, 9]))
+        assert table.links_of(0).size == 0
+        assert table.links_of(1).size == torus.hop_distance(4, 9)
+
+    def test_accumulate_matches_link_loads(self, torus):
+        rng = np.random.default_rng(7)
+        src = rng.integers(0, torus.num_nodes, size=30)
+        dst = rng.integers(0, torus.num_nodes, size=30)
+        vol = rng.integers(1, 7, size=30).astype(np.float64)
+        table = RouteTable.build(torus, src, dst)
+        msgs, vols = table.accumulate(vol)
+        assert np.array_equal(vols, link_loads(torus, src, dst, vol))
+        assert np.array_equal(msgs, link_loads(torus, src, dst, np.ones(30)))
+
+    def test_gather_concatenates_requested_segments(self, torus):
+        rng = np.random.default_rng(8)
+        src = rng.integers(0, torus.num_nodes, size=12)
+        dst = rng.integers(0, torus.num_nodes, size=12)
+        table = RouteTable.build(torus, src, dst)
+        pick = np.array([7, 2, 9])
+        links, counts = table.gather(pick)
+        expect = np.concatenate([table.links_of(int(p)) for p in pick])
+        assert np.array_equal(links, expect)
+        assert np.array_equal(counts, table.counts()[pick])
+
+    def test_copy_is_independent(self, torus):
+        table = RouteTable.build(torus, np.array([0, 1]), np.array([5, 8]))
+        clone = table.copy()
+        clone.links[:] = -1
+        assert not np.array_equal(table.links, clone.links)
+
+    def test_key_is_content_derived(self, torus):
+        src = np.array([0, 1, 2])
+        dst = np.array([5, 8, 2])
+        assert route_table_key(torus, src, dst) == route_table_key(
+            torus, src.copy(), dst.copy()
+        )
+        assert route_table_key(torus, src, dst) != route_table_key(torus, dst, src)
+        other = Torus3D((5, 3, 4))
+        assert route_table_key(torus, src, dst) != route_table_key(other, src, dst)
 
 
 class TestLinkLoads:

@@ -1,0 +1,124 @@
+"""Compare two perf snapshots; fail on a large geo-mean regression.
+
+The scheduled CI job emits a fresh snapshot with
+``benchmarks/emit_bench.py`` and runs this script against the latest
+*committed* ``BENCH_<n>.json``; the job fails when the geometric mean of
+the per-algorithm map-time ratios (new / baseline) exceeds the threshold
+(default ``1.25`` — a >25% regression).  Only algorithms present in both
+snapshots are compared, so adding a mapper never breaks the gate.
+
+Snapshots from different hardware drift for non-code reasons; the gate
+is deliberately coarse (geo-mean across all algorithms, generous
+threshold) to catch real hot-path regressions, not scheduler noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py NEW.json [BASELINE.json]
+        [--threshold 1.25]
+
+With no explicit baseline, the highest-numbered ``BENCH_<n>.json`` in
+the repository root that is not the new snapshot itself is used.
+Exit codes: 0 ok, 1 regression past the threshold, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+__all__ = ["compare_snapshots", "latest_snapshot", "main"]
+
+
+def latest_snapshot(exclude: Optional[str] = None) -> Optional[str]:
+    """Path of the highest-numbered committed ``BENCH_<n>.json``."""
+    exclude_abs = os.path.abspath(exclude) if exclude else None
+    best: Tuple[int, Optional[str]] = (-1, None)
+    for name in os.listdir(REPO_ROOT):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", name)
+        if not m:
+            continue
+        path = os.path.join(REPO_ROOT, name)
+        if exclude_abs and os.path.abspath(path) == exclude_abs:
+            continue
+        index = int(m.group(1))
+        if index > best[0]:
+            best = (index, path)
+    return best[1]
+
+
+def compare_snapshots(
+    baseline: dict, new: dict, threshold: float = 1.25
+) -> Tuple[bool, float, List[str]]:
+    """``(ok, geo_mean_ratio, report_lines)`` of two snapshot payloads."""
+    base_times: Dict[str, float] = baseline.get("geo_mean_map_time_s", {})
+    new_times: Dict[str, float] = new.get("geo_mean_map_time_s", {})
+    shared = [a for a in base_times if a in new_times and base_times[a] > 0]
+    if not shared:
+        raise ValueError("snapshots share no timed algorithms")
+
+    lines = [f"{'algorithm':>10s} {'base(ms)':>10s} {'new(ms)':>10s} {'ratio':>7s}"]
+    log_sum = 0.0
+    import math
+
+    for algo in shared:
+        ratio = new_times[algo] / base_times[algo]
+        log_sum += math.log(ratio)
+        lines.append(
+            f"{algo:>10s} {base_times[algo] * 1e3:10.2f} "
+            f"{new_times[algo] * 1e3:10.2f} {ratio:7.3f}"
+        )
+    geo_ratio = math.exp(log_sum / len(shared))
+    ok = geo_ratio <= threshold
+    lines.append(
+        f"geo-mean ratio {geo_ratio:.3f} "
+        f"({'OK' if ok else 'REGRESSION'}, threshold {threshold:.2f})"
+    )
+    return ok, geo_ratio, lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on a geo-mean map-time regression between snapshots."
+    )
+    parser.add_argument("new", help="freshly emitted snapshot JSON")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="committed snapshot (default: latest BENCH_<n>.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="maximum allowed geo-mean ratio new/baseline (default 1.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline or latest_snapshot(exclude=args.new)
+    if baseline_path is None:
+        print("error: no committed BENCH_<n>.json to compare against", file=sys.stderr)
+        return 2
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        with open(args.new) as fh:
+            new = json.load(fh)
+        ok, _, lines = compare_snapshots(baseline, new, args.threshold)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"baseline: {baseline_path}")
+    print(f"new:      {args.new}")
+    print("\n".join(lines))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,12 +6,23 @@ writes geometric-mean mapping times per algorithm — overall and per
 processor count — so the repo's performance trajectory is tracked commit
 over commit.
 
+Since the parallel execution engine the snapshot also carries a
+``batch_throughput`` section: the same Fig. 3 sweep expressed as one
+request list and pushed through ``MappingService.map_batch`` on every
+backend (``serial`` reference, ``thread``/``process`` at several worker
+counts), reporting requests/sec and the speedup over sequential
+execution.  Each measurement runs on a fresh service (cold caches) so
+the backends compete on equal footing.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py [output.json]
 
 The default output name is ``BENCH_<n>.json`` in the repository root,
 where ``<n>`` is one past the highest existing snapshot index.
+``benchmarks/compare_bench.py`` diffs two snapshots and fails on large
+geo-mean regressions (the scheduled CI job runs it against the latest
+committed snapshot).
 """
 
 from __future__ import annotations
@@ -21,14 +32,19 @@ import os
 import platform
 import re
 import sys
+import time
 
 from repro.analysis.stats import geometric_mean
-from repro.experiments.fig2 import run_fig2
+from repro.api.service import MappingService
+from repro.experiments.fig2 import run_fig2, sweep_requests
 from repro.experiments.harness import WorkloadCache
 from repro.experiments.profiles import profile_from_env
 from repro.mapping.pipeline import MAPPER_NAMES
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Pool widths measured for the thread/process backends.
+WORKER_COUNTS = (2, 4)
 
 
 def next_snapshot_path() -> str:
@@ -38,6 +54,38 @@ def next_snapshot_path() -> str:
         if (m := re.fullmatch(r"BENCH_(\d+)\.json", name))
     ]
     return os.path.join(REPO_ROOT, f"BENCH_{max(taken, default=0) + 1}.json")
+
+
+def measure_batch_throughput(profile, cache: WorkloadCache) -> dict:
+    """Requests/sec of the sweep per backend, on fresh (cold) services.
+
+    ``sweep_requests`` is the same constructor ``run_fig2`` maps with,
+    so the throughput numbers describe exactly the sweep the map-time
+    section times.
+    """
+    requests = sweep_requests(profile, cache)
+
+    def run(backend: str, workers) -> dict:
+        service = MappingService()
+        t0 = time.perf_counter()
+        responses = service.map_batch(requests, backend=backend, workers=workers)
+        elapsed = time.perf_counter() - t0
+        assert len(responses) == len(requests) * len(MAPPER_NAMES)
+        return {
+            "elapsed_s": elapsed,
+            "requests_per_s": len(requests) / elapsed,
+        }
+
+    out = {"requests": len(requests), "algorithms_per_request": len(MAPPER_NAMES)}
+    out["serial"] = run("serial", None)
+    serial_s = out["serial"]["elapsed_s"]
+    for backend in ("thread", "process"):
+        out[backend] = {}
+        for workers in WORKER_COUNTS:
+            m = run(backend, workers)
+            m["speedup_vs_serial"] = serial_s / m["elapsed_s"]
+            out[backend][str(workers)] = m
+    return out
 
 
 def main(argv) -> str:
@@ -51,6 +99,7 @@ def main(argv) -> str:
         profile = profile_from_env(default="ci")
         cache = WorkloadCache(profile)
         result = run_fig2(profile, cache)
+        throughput = measure_batch_throughput(profile, cache)
     except BaseException:
         if not existed:
             os.unlink(out_path)
@@ -68,8 +117,13 @@ def main(argv) -> str:
         "profile": profile.name,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        # Parallel-backend speedups are bounded by this: a 1-CPU host
+        # can only show engine overhead, not scaling.
+        "cpus": os.cpu_count(),
         "geo_mean_map_time_s": overall,
         "geo_mean_map_time_s_by_procs": per_procs,
+        # map_batch requests/sec per backend (parallel execution engine).
+        "batch_throughput": throughput,
         # Shared-artifact reuse during the sweep (MappingService batching).
         "artifact_cache": {
             ns: {"hits": s.hits, "misses": s.misses, "size": s.size}
@@ -82,6 +136,17 @@ def main(argv) -> str:
     print(f"wrote {out_path}")
     for a in MAPPER_NAMES:
         print(f"  {a:>5s}: {overall[a] * 1e3:8.2f} ms")
+    print(
+        f"  batch: {throughput['requests']} requests, "
+        f"serial {throughput['serial']['elapsed_s']:.2f} s"
+    )
+    for backend in ("thread", "process"):
+        for workers, m in throughput[backend].items():
+            print(
+                f"    {backend}@{workers}: {m['elapsed_s']:.2f} s "
+                f"({m['speedup_vs_serial']:.2f}x, "
+                f"{m['requests_per_s']:.2f} req/s)"
+            )
     return out_path
 
 

@@ -42,6 +42,9 @@ from repro.api.cache import (
     machine_key,
     task_graph_key,
 )
+from repro.api.executor import BACKENDS, execute_plan
+from repro.api.plan import Plan, PlanNode, build_plan
+from repro.api.store import DiskArtifactStore
 from repro.api.registry import (
     MapperRegistrationError,
     MapperSpec,
@@ -67,7 +70,13 @@ from repro.api.stages import (
 
 __all__ = [
     "ArtifactCache",
+    "BACKENDS",
     "CacheStats",
+    "DiskArtifactStore",
+    "Plan",
+    "PlanNode",
+    "build_plan",
+    "execute_plan",
     "fingerprint_arrays",
     "machine_key",
     "task_graph_key",

@@ -30,14 +30,37 @@ services should set a byte budget: route tables and DEF baselines are
 the big entries.  Per-namespace hit/miss/eviction/byte statistics are
 exported by :meth:`ArtifactCache.stats` and surfaced by the
 ``python -m repro.api`` CLI (``--stats``).
+
+Two orthogonal extensions serve the parallel execution engine
+(:mod:`repro.api.executor`):
+
+* **Concurrent mode** (:meth:`enable_concurrency`, used by the
+  ``thread`` backend): all bookkeeping — stats counters, the LRU
+  order, byte accounting — happens under one short-lived mutex, so
+  hits/misses/evictions stay exact under concurrent callers, and a
+  bank of *striped* locks serializes top-level computes of the same
+  key (two threads asking for one grouping run one compute).  Nested
+  ``get_or_compute`` calls issued from inside a compute (the DEF
+  baseline computes groupings and route tables) deliberately bypass
+  the stripes — a thread never holds two stripes, so the striping can
+  never deadlock; a nested duplicate compute is benign because every
+  artifact is deterministic in its key.
+* **Disk layering** (``store=``): a
+  :class:`~repro.api.store.DiskArtifactStore` underneath the LRU turns
+  a memory miss into a disk read and a computed value into an atomic
+  write-through (for the store's declared namespaces), which is how
+  the ``process`` backend's pool workers share groupings, route tables
+  and DEF baselines across address spaces.  Disk reads count as hits
+  (``CacheStats.store_hits`` tracks them separately).
 """
 
 from __future__ import annotations
 
 import sys
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +73,11 @@ __all__ = [
     "task_graph_key",
     "machine_key",
 ]
+
+_MISSING = object()
+
+#: Stripe count of the concurrent mode's per-key compute locks.
+_NUM_STRIPES = 64
 
 
 def task_graph_key(task_graph) -> int:
@@ -99,13 +127,21 @@ def _estimate_nbytes(value: Any, _depth: int = 0) -> int:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters and resident bytes for one namespace."""
+    """Hit/miss/eviction counters and resident bytes for one namespace.
+
+    ``store_hits`` counts the subset of ``hits`` that were served from
+    the layered :class:`~repro.api.store.DiskArtifactStore` rather than
+    memory; ``store_errors`` counts write-throughs that failed and were
+    skipped (both 0 when no store is attached).
+    """
 
     hits: int = 0
     misses: int = 0
     size: int = 0
     evictions: int = 0
     bytes: int = 0
+    store_hits: int = 0
+    store_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -125,6 +161,13 @@ class ArtifactCache:
         bytes exceed this budget (``None`` = unbounded).  A single
         artifact larger than the whole budget is still computed and
         returned — it just is not retained.
+    store:
+        Optional :class:`~repro.api.store.DiskArtifactStore` layered
+        under the LRU: memory misses in the store's declared namespaces
+        fall through to disk, and computed values are written through
+        atomically, making the artifact shareable across processes.
+    concurrent:
+        Start in concurrent mode (see :meth:`enable_concurrency`).
     """
 
     def __init__(
@@ -132,6 +175,8 @@ class ArtifactCache:
         *,
         max_entries: Optional[int] = None,
         max_bytes: Optional[int] = None,
+        store=None,
+        concurrent: bool = False,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1")
@@ -139,10 +184,37 @@ class ArtifactCache:
             raise ValueError("max_bytes must be >= 1")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.store = store
         self._store: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
         self._nbytes: Dict[Tuple[str, Hashable], int] = {}
         self._total_bytes = 0
         self._stats: Dict[str, CacheStats] = {}
+        # The mutex guards every bookkeeping structure above; it is held
+        # only for dict/counter updates, never across a compute or disk
+        # I/O, so the serial path pays one uncontended acquire per call.
+        self._mutex = threading.RLock()
+        self._stripes: Optional[List[threading.Lock]] = None
+        self._in_compute = threading.local()
+        if concurrent:
+            self.enable_concurrency()
+
+    # ------------------------------------------------------------------
+    # concurrency
+    # ------------------------------------------------------------------
+    @property
+    def concurrent(self) -> bool:
+        """Whether striped compute locks are installed."""
+        return self._stripes is not None
+
+    def enable_concurrency(self) -> None:
+        """Install the striped compute locks (idempotent).
+
+        Called by the ``thread`` execution backend before fanning out.
+        Bookkeeping is mutex-protected regardless of this mode; the
+        stripes only add same-key compute dedup for top-level calls.
+        """
+        if self._stripes is None:
+            self._stripes = [threading.Lock() for _ in range(_NUM_STRIPES)]
 
     # ------------------------------------------------------------------
     def get_or_compute(
@@ -150,37 +222,92 @@ class ArtifactCache:
     ) -> Any:
         """Return the cached artifact, computing and storing it on a miss.
 
-        A hit marks the entry most-recently-used; a miss inserts the
-        computed value and evicts LRU entries past the configured
-        budgets.
+        A hit marks the entry most-recently-used; a memory miss falls
+        through to the disk store (when layered), then to *compute*; a
+        computed value is inserted, written through to disk, and LRU
+        entries past the configured budgets are evicted.
         """
-        stats = self._stats.setdefault(namespace, CacheStats())
+        stripes = self._stripes
+        if stripes is None or getattr(self._in_compute, "held", False):
+            return self._get_or_compute_inner(namespace, key, compute)
+        stripe = stripes[hash((namespace, key)) % len(stripes)]
+        self._in_compute.held = True
+        try:
+            with stripe:
+                return self._get_or_compute_inner(namespace, key, compute)
+        finally:
+            self._in_compute.held = False
+
+    def _get_or_compute_inner(
+        self, namespace: str, key: Hashable, compute: Callable[[], Any]
+    ) -> Any:
         full = (namespace, key)
-        if full in self._store:
-            stats.hits += 1
-            self._store.move_to_end(full)
-            return self._store[full]
-        stats.misses += 1
-        value = compute()
-        self._insert(full, value, stats)
+        with self._mutex:
+            stats = self._stats.setdefault(namespace, CacheStats())
+            if full in self._store:
+                stats.hits += 1
+                self._store.move_to_end(full)
+                return self._store[full]
+        value = self._load_from_store(namespace, key)  # I/O outside the mutex
+        if value is not _MISSING:
+            with self._mutex:
+                stats.hits += 1
+                stats.store_hits += 1
+                self._insert(full, value, stats)
+            return value
+        value = compute()  # compute outside the mutex
+        with self._mutex:
+            stats.misses += 1
+            self._insert(full, value, stats)
+        self._write_through(namespace, key, value)
         return value
 
     def get(self, namespace: str, key: Hashable, default: Any = None) -> Any:
-        """Peek without recording a hit/miss, refreshing recency or computing."""
-        return self._store.get((namespace, key), default)
+        """Peek (memory only) without recording a hit/miss or recency."""
+        with self._mutex:
+            return self._store.get((namespace, key), default)
 
     def put(self, namespace: str, key: Hashable, value: Any) -> None:
         """Insert (or overwrite) an artifact directly (most-recently-used)."""
-        stats = self._stats.setdefault(namespace, CacheStats())
-        self._insert((namespace, key), value, stats)
+        with self._mutex:
+            stats = self._stats.setdefault(namespace, CacheStats())
+            self._insert((namespace, key), value, stats)
+        self._write_through(namespace, key, value)
 
     def __contains__(self, full_key: Tuple[str, Hashable]) -> bool:
-        return full_key in self._store
+        with self._mutex:
+            return full_key in self._store
+
+    # ------------------------------------------------------------------
+    # disk layering
+    # ------------------------------------------------------------------
+    def _load_from_store(self, namespace: str, key: Hashable) -> Any:
+        if self.store is None or namespace not in self.store.namespaces:
+            return _MISSING
+        return self.store.load(namespace, key, default=_MISSING)
+
+    def _write_through(self, namespace: str, key: Hashable, value: Any) -> None:
+        """Persist to the layered store; failures degrade, never abort.
+
+        The store is an optimization layer: a full disk, a permission
+        error or an unpicklable third-party artifact must not discard a
+        successfully computed result, so write failures only bump the
+        namespace's ``store_errors`` counter (mirroring the read side,
+        where corruption is a miss).
+        """
+        if self.store is None or namespace not in self.store.namespaces:
+            return
+        try:
+            self.store.save(namespace, key, value)
+        except Exception:
+            with self._mutex:
+                self._stats.setdefault(namespace, CacheStats()).store_errors += 1
 
     # ------------------------------------------------------------------
     def _insert(
         self, full: Tuple[str, Hashable], value: Any, stats: CacheStats
     ) -> None:
+        """Insert under the already-held mutex and evict past budgets."""
         if full in self._store:
             self._drop(full, count_eviction=False)
         nbytes = _estimate_nbytes(value)
@@ -217,40 +344,54 @@ class ArtifactCache:
     @property
     def total_bytes(self) -> int:
         """Estimated resident bytes of every stored artifact."""
-        return self._total_bytes
+        with self._mutex:
+            return self._total_bytes
 
     def stats(self, namespace: Optional[str] = None):
         """Per-namespace :class:`CacheStats` (or one namespace's)."""
-        if namespace is not None:
-            return self._stats.setdefault(namespace, CacheStats())
-        return dict(self._stats)
+        with self._mutex:
+            if namespace is not None:
+                return self._stats.setdefault(namespace, CacheStats())
+            return dict(self._stats)
 
     def clear(self, namespace: Optional[str] = None) -> None:
-        """Drop all artifacts, or only one namespace's."""
-        if namespace is None:
-            self._store.clear()
-            self._nbytes.clear()
-            self._total_bytes = 0
-            self._stats.clear()
-            return
-        for full in [k for k in self._store if k[0] == namespace]:
-            nbytes = self._nbytes.pop(full, 0)
-            self._total_bytes -= nbytes
-            del self._store[full]
-        self._stats.pop(namespace, None)
+        """Drop all in-memory artifacts, or only one namespace's.
+
+        The layered disk store (if any) is untouched — use
+        ``cache.store.clear()`` to delete persisted artifacts.
+        """
+        with self._mutex:
+            if namespace is None:
+                self._store.clear()
+                self._nbytes.clear()
+                self._total_bytes = 0
+                self._stats.clear()
+                return
+            for full in [k for k in self._store if k[0] == namespace]:
+                nbytes = self._nbytes.pop(full, 0)
+                self._total_bytes -= nbytes
+                del self._store[full]
+            self._stats.pop(namespace, None)
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._mutex:
+            return len(self._store)
 
     def format_stats(self) -> str:
         """One line per namespace, e.g. ``grouping: 6 hits / 2 misses (2 stored, 1.2 MB)``."""
         lines = []
-        for ns in sorted(self._stats):
-            s = self._stats[ns]
+        with self._mutex:
+            snapshot = {ns: s for ns, s in self._stats.items()}
+        for ns in sorted(snapshot):
+            s = snapshot[ns]
             line = (
                 f"{ns}: {s.hits} hits / {s.misses} misses "
                 f"({s.size} stored, {_format_bytes(s.bytes)}"
             )
+            if s.store_hits:
+                line += f", {s.store_hits} from disk"
+            if s.store_errors:
+                line += f", {s.store_errors} failed writes"
             if s.evictions:
                 line += f", {s.evictions} evicted"
             lines.append(line + ")")

@@ -9,6 +9,11 @@ Subcommands
     task graph → sparse torus allocation), run one or more mapping
     algorithms through :class:`~repro.api.service.MappingService`, and
     print the fine-level metrics — as a table or as JSON.
+``map-batch``
+    Run many requests from a JSON manifest through the parallel
+    execution engine (``--backend serial|thread|process``,
+    ``--workers N``, ``--store-dir`` for the cross-process artifact
+    store) and report per-request results plus batch throughput.
 
 Examples::
 
@@ -16,6 +21,18 @@ Examples::
     python -m repro.api map --matrix cage15_like --algos UWH,UMC --json
     python -m repro.api map --matrix rgg_n23_like --procs 128 --ppn 4 \
         --algos DEF,UG,UWH --stats
+    python -m repro.api map-batch --manifest reqs.json --workers 4 \
+        --backend process --json
+
+The manifest is either a JSON list of request objects or
+``{"defaults": {...}, "requests": [...]}``; each request names a corpus
+``matrix`` and optionally ``algos``, ``procs``, ``ppn``,
+``rows_per_unit``, ``partitioner``, ``seed``, ``delta``,
+``fragmentation`` and ``tag`` (defaults fill the gaps)::
+
+    {"defaults": {"procs": 64, "ppn": 4, "algos": "DEF,UG,UWH"},
+     "requests": [{"matrix": "cage15_like"},
+                  {"matrix": "rgg_n23_like", "algos": ["UMC"], "seed": 3}]}
 """
 
 from __future__ import annotations
@@ -23,14 +40,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
 
 from repro.api.cache import ArtifactCache
+from repro.api.executor import BACKENDS
 from repro.api.registry import UnknownMapperError, get_spec, registered_mappers
 from repro.api.request import MapRequest
 from repro.api.service import MappingService
+from repro.api.store import DiskArtifactStore
 from repro.data.corpus import CORPUS, load_matrix
 from repro.graph.task_graph import TaskGraph
 from repro.hypergraph.model import Hypergraph
@@ -86,21 +106,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument(
         "--stats", action="store_true", help="print artifact-cache statistics"
     )
-    p_map.add_argument(
+    _add_engine_args(p_map)
+
+    p_batch = sub.add_parser(
+        "map-batch",
+        help="run many requests from a JSON manifest through the engine",
+        description="Run many mapping requests from a JSON manifest through "
+        "the parallel execution engine.  Note: the manifest's workloads "
+        "(matrix generation + partitioning) are built sequentially in this "
+        "process before the engine starts; --backend/--workers parallelize "
+        "the mapping work only.",
+    )
+    p_batch.add_argument(
+        "--manifest",
+        required=True,
+        help="JSON file: list of requests, or {defaults, requests}",
+    )
+    p_batch.add_argument("--json", action="store_true", help="emit JSON")
+    p_batch.add_argument(
+        "--stats", action="store_true", help="print artifact-cache statistics"
+    )
+    _add_engine_args(p_batch)
+    return parser
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Engine + cache knobs shared by ``map`` and ``map-batch``."""
+    parser.add_argument(
         "--cache-entries",
         type=int,
         default=None,
         metavar="N",
         help="bound the artifact cache to N entries (LRU eviction)",
     )
-    p_map.add_argument(
+    parser.add_argument(
         "--cache-bytes",
         type=int,
         default=None,
         metavar="N",
         help="bound the artifact cache to ~N resident bytes (LRU eviction)",
     )
-    return parser
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=BACKENDS,
+        help="execution backend of the batch engine (default serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pool width for the thread/process backends (default: CPUs)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="cross-process artifact store directory (persists groupings, "
+        "route tables and DEF baselines across runs and pool workers)",
+    )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -124,33 +189,57 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_workload(args: argparse.Namespace):
+def _build_workload(
+    matrix_name: str,
+    procs: int,
+    ppn: int,
+    rows_per_unit: int,
+    partitioner: str,
+    seed: int,
+    fragmentation: float,
+):
     """Corpus matrix → partitioned task graph + allocated machine."""
-    entry = next((e for e in CORPUS if e.name == args.matrix), None)
+    entry = next((e for e in CORPUS if e.name == matrix_name), None)
     if entry is None:
         raise ValueError(
-            f"unknown matrix {args.matrix!r}; corpus: {[e.name for e in CORPUS]}"
+            f"unknown matrix {matrix_name!r}; corpus: {[e.name for e in CORPUS]}"
         )
-    if args.procs % args.ppn:
-        raise ValueError(f"--procs {args.procs} not divisible by --ppn {args.ppn}")
-    matrix = load_matrix(entry, args.rows_per_unit, args.seed)
+    if procs % ppn:
+        raise ValueError(f"--procs {procs} not divisible by --ppn {ppn}")
+    matrix = load_matrix(entry, rows_per_unit, seed)
     h = Hypergraph.from_matrix(matrix)
-    tool = get_partitioner(args.partitioner)
-    part = tool.partition(matrix, args.procs, seed=args.seed, hypergraph=h).part
-    loads = np.bincount(part, weights=h.loads, minlength=args.procs)
+    tool = get_partitioner(partitioner)
+    part = tool.partition(matrix, procs, seed=seed, hypergraph=h).part
+    loads = np.bincount(part, weights=h.loads, minlength=procs)
     tg = TaskGraph.from_comm_triplets(
-        args.procs, h.comm_triplets(part, args.procs), loads=loads
+        procs, h.comm_triplets(part, procs), loads=loads
     )
-    nodes = args.procs // args.ppn
+    nodes = procs // ppn
     machine = SparseAllocator(torus_for_job(nodes)).allocate(
         AllocationSpec(
             num_nodes=nodes,
-            procs_per_node=args.ppn,
-            fragmentation=args.fragmentation,
-            seed=args.seed,
+            procs_per_node=ppn,
+            fragmentation=fragmentation,
+            seed=seed,
         )
     )
     return tg, machine
+
+
+def _build_service(args: argparse.Namespace) -> MappingService:
+    """Service wired to the CLI's cache bounds, store and backend flags."""
+    store = (
+        DiskArtifactStore(args.store_dir) if args.store_dir is not None else None
+    )
+    return MappingService(
+        cache=ArtifactCache(
+            max_entries=args.cache_entries,
+            max_bytes=args.cache_bytes,
+            store=store,
+        ),
+        backend=args.backend,
+        workers=args.workers,
+    )
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
@@ -160,12 +249,16 @@ def _cmd_map(args: argparse.Namespace) -> int:
     for a in algos:  # fail fast, before the workload build
         get_spec(a)
 
-    tg, machine = _build_workload(args)
-    service = MappingService(
-        cache=ArtifactCache(
-            max_entries=args.cache_entries, max_bytes=args.cache_bytes
-        )
+    tg, machine = _build_workload(
+        args.matrix,
+        args.procs,
+        args.ppn,
+        args.rows_per_unit,
+        args.partitioner,
+        args.seed,
+        args.fragmentation,
     )
+    service = _build_service(args)
     responses = service.map_batch(
         MapRequest(
             task_graph=tg,
@@ -200,17 +293,13 @@ def _cmd_map(args: argparse.Namespace) -> int:
             ],
         }
         if args.stats:
-            payload["cache_stats"] = {
-                ns: {
-                    "hits": s.hits,
-                    "misses": s.misses,
-                    "size": s.size,
-                    "evictions": s.evictions,
-                    "bytes": s.bytes,
-                }
-                for ns, s in service.cache.stats().items()
-            }
+            payload["cache_stats"] = _stats_payload(service.cache)
             payload["cache_total_bytes"] = service.cache.total_bytes
+            if service.cache.store is not None:
+                payload["store_files"] = {
+                    ns: service.cache.store.file_count(ns)
+                    for ns in sorted(service.cache.store.namespaces)
+                }
         print(json.dumps(payload, indent=1))
         return 0
 
@@ -234,9 +323,182 @@ def _cmd_map(args: argparse.Namespace) -> int:
             f"{m.mc:9.2f} {r.map_time * 1e3:8.2f} {shared:>16s}"
         )
     if args.stats:
-        print("\nArtifact cache:")
-        print(service.cache.format_stats())
+        _print_stats(service, args.backend)
     return 0
+
+
+#: Per-request fallbacks of the ``map-batch`` manifest (overridden by the
+#: manifest's ``defaults`` object, then by each request entry).
+_MANIFEST_DEFAULTS = {
+    "algos": "UG,UWH",
+    "procs": 64,
+    "ppn": 4,
+    "rows_per_unit": 120,
+    "partitioner": "PATOH",
+    "seed": 0,
+    "delta": 8,
+    "fragmentation": 0.3,
+}
+
+
+def _manifest_requests(args: argparse.Namespace) -> List[MapRequest]:
+    """Parse the manifest into MapRequests (workloads built once per key)."""
+    with open(args.manifest) as fh:
+        payload = json.load(fh)
+    if isinstance(payload, list):
+        defaults, entries = {}, payload
+    elif isinstance(payload, dict):
+        defaults = payload.get("defaults", {})
+        entries = payload.get("requests")
+    else:
+        raise ValueError("manifest must be a JSON list or object")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("manifest needs a non-empty 'requests' list")
+
+    requests: List[MapRequest] = []
+    workloads = {}
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"request #{i} must be an object, got {entry!r}")
+        spec = {**_MANIFEST_DEFAULTS, **defaults, **entry}
+        if "matrix" not in spec:
+            raise ValueError(f"request #{i} names no 'matrix'")
+        algos = spec["algos"]
+        if isinstance(algos, str):
+            algos = tuple(a.strip() for a in algos.split(",") if a.strip())
+        else:
+            algos = tuple(algos)
+        if not algos:
+            raise ValueError(f"request #{i} names no algorithms")
+        for a in algos:  # fail fast, before any workload build
+            get_spec(a)
+        key = (
+            spec["matrix"],
+            int(spec["procs"]),
+            int(spec["ppn"]),
+            int(spec["rows_per_unit"]),
+            spec["partitioner"],
+            int(spec["seed"]),
+            float(spec["fragmentation"]),
+        )
+        if key not in workloads:
+            workloads[key] = _build_workload(*key)
+        tg, machine = workloads[key]
+        requests.append(
+            MapRequest(
+                task_graph=tg,
+                machine=machine,
+                algorithms=algos,
+                seed=int(spec["seed"]),
+                delta=int(spec["delta"]),
+                evaluate=True,
+                tag=spec.get("tag", i),
+            )
+        )
+    return requests
+
+
+def _cmd_map_batch(args: argparse.Namespace) -> int:
+    requests = _manifest_requests(args)
+    service = _build_service(args)
+    t0 = time.perf_counter()
+    responses = service.map_batch(requests)
+    elapsed = time.perf_counter() - t0
+    summary = {
+        "backend": args.backend,
+        "workers": args.workers,
+        "requests": len(requests),
+        "responses": len(responses),
+        "elapsed_s": elapsed,
+        "requests_per_s": len(requests) / elapsed if elapsed > 0 else 0.0,
+    }
+
+    if args.json:
+        payload = {
+            **summary,
+            "results": [
+                {
+                    "tag": r.tag,
+                    "algorithm": r.algorithm,
+                    "metrics": {
+                        k: float(v) for k, v in r.metrics.as_dict().items()
+                    },
+                    "map_time_s": r.map_time,
+                    "prep_time_s": r.prep_time,
+                    "grouping_cached": r.grouping_cached,
+                }
+                for r in responses
+            ],
+        }
+        if args.stats:
+            payload["cache_stats"] = _stats_payload(service.cache)
+            if service.cache.store is not None:
+                payload["store_files"] = {
+                    ns: service.cache.store.file_count(ns)
+                    for ns in sorted(service.cache.store.namespaces)
+                }
+        print(json.dumps(payload, indent=1))
+        return 0
+
+    print(
+        f"{summary['requests']} requests -> {summary['responses']} responses "
+        f"in {elapsed:.3f} s ({summary['requests_per_s']:.2f} req/s, "
+        f"backend={args.backend}, workers={args.workers or 'auto'})"
+    )
+    print(f"\n{'tag':>6s} {'mapper':>8s} {'WH':>11s} {'MC':>9s} {'map(ms)':>8s}")
+    print("-" * 48)
+    for r in responses:
+        m = r.metrics
+        print(
+            f"{str(r.tag):>6s} {r.algorithm:>8s} {m.wh:11.0f} {m.mc:9.2f} "
+            f"{r.map_time * 1e3:8.2f}"
+        )
+    if args.stats:
+        _print_stats(service, args.backend)
+    return 0
+
+
+def _stats_payload(cache: ArtifactCache) -> dict:
+    return {
+        ns: {
+            "hits": s.hits,
+            "misses": s.misses,
+            "size": s.size,
+            "evictions": s.evictions,
+            "bytes": s.bytes,
+            "store_hits": s.store_hits,
+            "store_errors": s.store_errors,
+        }
+        for ns, s in cache.stats().items()
+    }
+
+
+def _print_stats(service: MappingService, backend: str) -> None:
+    """Cache statistics footer, honest about the process backend.
+
+    The process backend's cache activity happens in the pool workers'
+    private caches, which die with the pool — the parent's counters
+    stay empty.  What *is* observable from the parent is the shared
+    disk store, so its per-namespace file counts are reported instead.
+    """
+    print("\nArtifact cache:")
+    print(service.cache.format_stats())
+    if backend == "process":
+        print(
+            "(process backend: pool workers keep private caches, so the "
+            "counters above exclude their activity)"
+        )
+    store = service.cache.store
+    if store is not None:
+        counts = {
+            ns: store.file_count(ns)
+            for ns in sorted(store.namespaces)
+            if store.file_count(ns)
+        }
+        summary = (
+            ", ".join(f"{ns}: {n}" for ns, n in counts.items()) or "(empty)"
+        )
+        print(f"Artifact store ({store.root}): {summary}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -245,8 +507,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "map-batch":
+            return _cmd_map_batch(args)
         return _cmd_map(args)
-    except (ValueError, UnknownMapperError) as exc:
+    except (OSError, ValueError, UnknownMapperError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,287 @@
+"""Plan executors — serial (reference), thread pool, process pool.
+
+:func:`execute_plan` runs a :class:`~repro.api.plan.Plan` against a
+:class:`~repro.api.service.MappingService` on a pluggable backend and
+collects responses in request order:
+
+``serial``
+    Runs nodes in plan order in the calling thread.  Plan order equals
+    the legacy sequential loop's order, so this backend is the
+    bit-identical reference — same mappings, same cache interaction
+    sequence, same Figure-3 time accounting.
+``thread``
+    A ``ThreadPoolExecutor`` over ready nodes.  The service's
+    :class:`~repro.api.cache.ArtifactCache` is switched to its
+    lock-striped concurrent mode; the mapping kernels drop the GIL in
+    their NumPy hot loops, so congestion-heavy batches overlap.  All
+    sharing still happens through the one in-memory cache.
+``process``
+    A ``ProcessPoolExecutor``; every worker owns a private
+    ``MappingService`` whose cache layers over a shared
+    :class:`~repro.api.store.DiskArtifactStore`, so a grouping computed
+    by one worker is *read* (not recomputed) by the workers mapping the
+    dependent algorithms.  When neither the caller nor the service
+    provides a store directory, a temporary one lives for the batch.
+
+Every backend honours the same DAG: a node runs only after its
+dependencies, so the planner's dedupe guarantees (one grouping per
+artifact key, one initial route enumeration per placement chain) hold
+under arbitrary interleaving.  Determinism does not rest on scheduling:
+each node's output is a pure function of its request + the declared
+artifacts, which is why thread/process responses are byte-identical to
+serial (pinned by ``tests/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.api.plan import Plan, PlanNode
+from repro.api.request import MapRequest, MapResponse
+
+__all__ = ["BACKENDS", "execute_plan", "default_workers"]
+
+BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
+
+#: Worker-process globals installed by :func:`_process_worker_init`.
+_WORKER_SERVICE = None
+_WORKER_REQUESTS: Tuple[MapRequest, ...] = ()
+
+
+def default_workers() -> int:
+    """Default pool width: the container's *usable* CPU count.
+
+    ``sched_getaffinity`` respects cgroup/affinity restrictions (a
+    4-CPU-quota container on a 64-core host gets 4, not 64);
+    ``os.cpu_count`` is the fallback on platforms without it.
+    """
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        usable = os.cpu_count() or 1
+    return max(1, usable)
+
+
+def execute_plan(
+    plan: Plan,
+    service,
+    *,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    store_dir: Optional[str] = None,
+) -> List[MapResponse]:
+    """Run *plan* on *backend*; responses return in request order.
+
+    Parameters
+    ----------
+    plan:
+        Output of :func:`repro.api.plan.build_plan`.
+    service:
+        The :class:`~repro.api.service.MappingService` owning the cache
+        (serial/thread backends run nodes directly against it; the
+        process backend only reads its store configuration and collects
+        into its response format).
+    backend:
+        One of :data:`BACKENDS`.
+    workers:
+        Pool width for thread/process (default: CPU count).  Ignored by
+        ``serial``.
+    store_dir:
+        Cross-process artifact directory for the ``process`` backend.
+        Defaults to the service cache's attached store (if any), else a
+        temporary directory scoped to this batch.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if backend == "serial":
+        outcomes = _run_serial(plan, service)
+    elif backend == "thread":
+        outcomes = _run_threaded(plan, service, workers)
+    else:
+        outcomes = _run_process(plan, service, workers, store_dir)
+    return _collect(plan, outcomes)
+
+
+def run_plan_node(service, request: MapRequest, kind: str, algorithm: Optional[str]):
+    """Execute one node against *service* (shared by every backend)."""
+    if kind == "grouping":
+        return service.warm_grouping(request)
+    return service._run_one(request, algorithm)
+
+
+# ---------------------------------------------------------------------------
+# Backends.
+# ---------------------------------------------------------------------------
+
+
+def _run_serial(plan: Plan, service) -> List:
+    """Plan order is the legacy loop's order — the reference backend."""
+    return [
+        run_plan_node(
+            service, plan.requests[node.request_index], node.kind, node.algorithm
+        )
+        for node in plan.nodes
+    ]
+
+
+def _run_threaded(plan: Plan, service, workers: Optional[int]) -> List:
+    service.cache.enable_concurrency()
+    with ThreadPoolExecutor(max_workers=workers or default_workers()) as pool:
+
+        def submit(node: PlanNode):
+            return pool.submit(
+                run_plan_node,
+                service,
+                plan.requests[node.request_index],
+                node.kind,
+                node.algorithm,
+            )
+
+        return _drive(plan, submit)
+
+
+def _run_process(
+    plan: Plan, service, workers: Optional[int], store_dir: Optional[str]
+) -> List:
+    from repro.api.store import DEFAULT_PERSIST_NAMESPACES
+
+    namespaces = DEFAULT_PERSIST_NAMESPACES
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    if store_dir is None:
+        attached = getattr(service.cache, "store", None)
+        if attached is not None:
+            store_dir = attached.root
+            namespaces = attached.namespaces
+        else:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-artifacts-")
+            store_dir = tmp.name
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers or default_workers(),
+            initializer=_process_worker_init,
+            # The whole request list ships once per worker (at spawn)
+            # instead of once per node — a request's task graph and
+            # machine would otherwise cross the IPC boundary for every
+            # one of its algorithms.
+            initargs=(store_dir, sorted(namespaces), plan.requests),
+        ) as pool:
+
+            def submit(node: PlanNode):
+                return pool.submit(
+                    _process_run_node,
+                    node.request_index,
+                    node.kind,
+                    node.algorithm,
+                )
+
+            return _drive(plan, submit)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def _drive(plan: Plan, submit: Callable[[PlanNode], "object"]) -> List:
+    """Generic DAG scheduler: submit ready nodes, release dependents.
+
+    Shared by the thread and process backends; *submit* returns a
+    future.  On a node failure the not-yet-started siblings are
+    cancelled before the exception propagates (already-running nodes
+    finish — pools cannot interrupt them — but no new work starts).
+    """
+    outcomes: List = [None] * len(plan.nodes)
+    indegree = [len(node.deps) for node in plan.nodes]
+    dependents = plan.dependents()
+    pending = {}
+
+    for node in plan.nodes:
+        if indegree[node.index] == 0:
+            pending[submit(node)] = node.index
+    while pending:
+        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            index = pending.pop(future)
+            try:
+                outcomes[index] = future.result()  # re-raises node failures
+            except BaseException:
+                for sibling in pending:
+                    sibling.cancel()
+                raise
+            for dep_index in dependents[index]:
+                indegree[dep_index] -= 1
+                if indegree[dep_index] == 0:
+                    pending[submit(plan.nodes[dep_index])] = dep_index
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Process-pool worker side.
+# ---------------------------------------------------------------------------
+
+
+def _process_worker_init(
+    store_dir: str,
+    namespaces: Sequence[str],
+    requests: Sequence[MapRequest],
+) -> None:
+    """Build this worker's service over the shared cross-process store."""
+    global _WORKER_SERVICE, _WORKER_REQUESTS
+    from repro.api.cache import ArtifactCache
+    from repro.api.service import MappingService
+    from repro.api.store import DiskArtifactStore
+
+    store = DiskArtifactStore(store_dir, namespaces=frozenset(namespaces))
+    _WORKER_SERVICE = MappingService(cache=ArtifactCache(store=store))
+    _WORKER_REQUESTS = tuple(requests)
+
+
+def _process_run_node(request_index: int, kind: str, algorithm: Optional[str]):
+    return run_plan_node(
+        _WORKER_SERVICE, _WORKER_REQUESTS[request_index], kind, algorithm
+    )
+
+
+# ---------------------------------------------------------------------------
+# Collection.
+# ---------------------------------------------------------------------------
+
+
+def _collect(plan: Plan, outcomes: List) -> List[MapResponse]:
+    """Order responses by slot and apply the prep-time charge-back.
+
+    Figure 3's accounting bills a freshly computed shared grouping to
+    the first algorithm that consumes it (``prep_time``), exactly like
+    the sequential loop did; grouping nodes that were cache/store hits
+    charge nothing and their consumers keep ``grouping_cached=True``.
+    """
+    responses: List[Optional[MapResponse]] = [None] * plan.num_slots
+    for node in plan.nodes:
+        if node.kind == "algo":
+            responses[node.slot] = outcomes[node.index]
+    for node in plan.nodes:
+        if node.kind != "grouping" or node.charges is None:
+            continue
+        elapsed, computed = outcomes[node.index]
+        if not computed:
+            continue
+        charged = outcomes[node.charges]
+        if not charged.grouping_cached:
+            # The consumer did not ride the node's artifact after all —
+            # e.g. a bounded cache evicted it in between and the
+            # consumer recomputed, billing itself.  Its own accounting
+            # is already correct; adding the node's elapsed on top
+            # would double-count the grouping.
+            continue
+        charged.result.prep_time = elapsed
+        charged.grouping_cached = False
+        charged.stage_times["grouping"] = elapsed + charged.stage_times.get(
+            "grouping", 0.0
+        )
+    return responses

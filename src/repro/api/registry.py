@@ -86,6 +86,19 @@ class MapperSpec:
     shares_grouping:
         Whether the algorithm consumes the request's shared grouping —
         the paper's "UWH/UMC/UMMC run on top of UG" family.
+    consumes:
+        Artifact namespaces the algorithm reads from the shared cache,
+        used by the batch planner (:func:`repro.api.plan.build_plan`) to
+        schedule it after the artifacts' producers: ``"grouping"`` (the
+        shared phase-1 partition), ``"route_table"`` (the initial-route
+        enumeration of its placement, shared by the congestion
+        refiners), ``"def_baseline"`` (TMAP's fallback comparison).
+        Derived from the stage composition when not given explicitly.
+    produces:
+        Artifact namespaces the algorithm's run seeds into the cache for
+        later consumers (DEF and TMAP seed ``"def_baseline"``; the
+        congestion refiners seed ``"route_table"``).  Derived when not
+        given.
     description:
         One-liner for ``python -m repro.api list``.
     """
@@ -99,7 +112,12 @@ class MapperSpec:
     fallback: Optional[str] = None
     group_in_map_time: bool = False
     shares_grouping: bool = True
+    consumes: Optional[Tuple[str, ...]] = None
+    produces: Optional[Tuple[str, ...]] = None
     description: str = ""
+
+    #: refine stages that enumerate (and share) an initial route table.
+    CONGESTION_REFINES = ("mc", "mmc")
 
     def __post_init__(self) -> None:
         if self.grouping not in GROUPING_STAGES:
@@ -128,6 +146,38 @@ class MapperSpec:
             raise MapperRegistrationError(
                 f"{self.name}: unsupported fallback {self.fallback!r}"
             )
+        if self.consumes is None:
+            object.__setattr__(self, "consumes", self._derive_consumes())
+        else:
+            object.__setattr__(self, "consumes", tuple(self.consumes))
+        if self.produces is None:
+            object.__setattr__(self, "produces", self._derive_produces())
+        else:
+            object.__setattr__(self, "produces", tuple(self.produces))
+
+    def _derive_consumes(self) -> Tuple[str, ...]:
+        out = []
+        if not self.group_in_map_time:
+            out.append("grouping")
+        if any(r in self.CONGESTION_REFINES for r in self.refine):
+            out.append("route_table")
+        if self.fallback == "def_mc":
+            out.append("def_baseline")
+        return tuple(out)
+
+    def _derive_produces(self) -> Tuple[str, ...]:
+        out = []
+        if any(r in self.CONGESTION_REFINES for r in self.refine):
+            out.append("route_table")
+        if self.fallback == "def_mc":
+            # A fallback spec seeds the baseline it compares against
+            # (service._baseline_def).  DEF itself declares
+            # produces=("def_baseline",) explicitly in its builtin spec
+            # — the service's seeding is keyed to that algorithm, so
+            # deriving it from a structural proxy here could promise a
+            # production that execution never performs.
+            out.append("def_baseline")
+        return tuple(out)
 
     def stage_names(self) -> Tuple[str, ...]:
         """Human-readable stage chain, e.g. ``('partition', 'greedy', 'wh')``."""
@@ -254,6 +304,10 @@ _BUILTIN_SPECS = (
         placement="consecutive",
         group_in_map_time=True,
         shares_grouping=False,
+        # Every DEF run (re)seeds the def_baseline entry TMAP's
+        # fallback reads — declared explicitly because the service's
+        # seeding is keyed to this algorithm, not to its stage shape.
+        produces=("def_baseline",),
         description="Hopper-style consecutive ranks along the allocation",
     ),
     MapperSpec(

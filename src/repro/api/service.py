@@ -13,9 +13,20 @@ Hop tables are memoized per torus instance in the kernel layer
 additionally exposes them as a content-keyed artifact for API consumers
 holding merely-*equal* (not identical) machines.
 
+Since the planner/executor split, ``map_batch`` is a **plan → execute →
+collect engine**: :func:`repro.api.plan.build_plan` turns the batch into
+an explicit artifact-dependency DAG (shared groupings and DEF baselines
+deduped, congestion route-table consumers chained) and
+:func:`repro.api.executor.execute_plan` runs it on a pluggable backend —
+``serial`` (the bit-identical reference ordering), ``thread`` (pool over
+ready nodes, lock-striped concurrent cache) or ``process`` (pool workers
+sharing artifacts through a cross-process
+:class:`~repro.api.store.DiskArtifactStore`).
+
 Timing follows Figure 3's accounting exactly as the legacy pipeline
 did: ``prep_time`` covers the shared grouping (0 when it was injected
-or cache-hit), ``map_time`` the algorithm itself — UWH/UMC/UMMC include
+or cache-hit; billed to the first consuming algorithm on every
+backend), ``map_time`` the algorithm itself — UWH/UMC/UMMC include
 UG's time "as they run on top of it", TMAP/DEF charge their private
 grouping to ``map_time``.
 """
@@ -28,6 +39,7 @@ from typing import Iterable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.api.cache import ArtifactCache, machine_key, task_graph_key
+from repro.api.plan import build_plan, grouping_artifact_key
 from repro.api.registry import MapperSpec, get_spec
 from repro.api.request import MapRequest, MapResponse
 from repro.api.stages import (
@@ -55,11 +67,35 @@ class MappingService:
     cache:
         Shared :class:`ArtifactCache`.  Pass one explicitly to share
         groupings/baselines across services (the experiment harness
-        does); by default each service owns a private cache.
+        does); by default each service owns a private cache.  Attach a
+        :class:`~repro.api.store.DiskArtifactStore`
+        (``ArtifactCache(store=...)``) to persist artifacts across
+        processes and batches.
+    backend:
+        Default execution backend of :meth:`map_batch` — ``"serial"``
+        (reference), ``"thread"`` or ``"process"``.  Overridable per
+        call.
+    workers:
+        Default pool width for the parallel backends (``None`` = CPU
+        count).
     """
 
-    def __init__(self, cache: Optional[ArtifactCache] = None) -> None:
+    def __init__(
+        self,
+        cache: Optional[ArtifactCache] = None,
+        *,
+        backend: str = "serial",
+        workers: Optional[int] = None,
+    ) -> None:
+        from repro.api.executor import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
         self.cache = cache if cache is not None else ArtifactCache()
+        self.backend = backend
+        self.workers = workers
 
     # ------------------------------------------------------------------
     # Public API
@@ -74,23 +110,40 @@ class MappingService:
         return self._run_one(request, request.algorithms[0])
 
     def map_batch(
-        self, requests: Union[MapRequest, Iterable[MapRequest]]
+        self,
+        requests: Union[MapRequest, Iterable[MapRequest]],
+        *,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        store_dir: Optional[str] = None,
     ) -> List[MapResponse]:
         """Run one or many requests, all algorithms, sharing the cache.
 
         Accepts a single (possibly multi-algorithm) request or an
         iterable of requests; responses come back in request order,
-        algorithms in each request's declared order.  Each workload's
-        grouping is computed at most once across its algorithms (and
-        across requests hitting the same workload/machine/seed).
+        algorithms in each request's declared order.  The batch is
+        planned into an artifact-dependency DAG
+        (:func:`repro.api.plan.build_plan`) — each workload's grouping
+        is computed exactly once across its algorithms and across
+        requests hitting the same workload/machine/seed — and executed
+        on *backend* (:func:`repro.api.executor.execute_plan`):
+        ``"serial"`` preserves the legacy loop bit for bit, ``"thread"``
+        and ``"process"`` fan ready nodes out over *workers* while
+        producing byte-identical mappings.  ``store_dir`` points the
+        process backend at a persistent cross-process artifact
+        directory (default: the cache's attached store, else a
+        temporary one).
         """
-        if isinstance(requests, MapRequest):
-            requests = (requests,)
-        responses: List[MapResponse] = []
-        for request in requests:
-            for algo in request.algorithms:
-                responses.append(self._run_one(request, algo))
-        return responses
+        from repro.api.executor import execute_plan
+
+        plan = build_plan(requests)
+        return execute_plan(
+            plan,
+            self,
+            backend=backend if backend is not None else self.backend,
+            workers=workers if workers is not None else self.workers,
+            store_dir=store_dir,
+        )
 
     def grouping(
         self,
@@ -129,6 +182,33 @@ class MappingService:
             "hop_table", machine_key(machine), lambda: hop_table_for(machine.torus)
         )
 
+    def warm_grouping(self, request: MapRequest) -> Tuple[float, bool]:
+        """Materialize *request*'s shared grouping; ``(elapsed, computed)``.
+
+        The executors run this for the plan's grouping nodes.
+        ``computed`` is True only when the artifact was actually built
+        here — False on a memory or disk-store hit — which is what
+        decides whether the first consumer gets billed ``prep_time``.
+        """
+        tg_key, m_key = request.content_keys()
+        key = grouping_artifact_key(
+            tg_key, m_key, request.effective_grouping_seed, request.group_config
+        )
+        ran: List[bool] = []
+
+        def compute():
+            ran.append(True)
+            return self._compute_grouping(
+                request.task_graph,
+                request.machine,
+                request.effective_grouping_seed,
+                request.group_config,
+            )
+
+        t0 = time.perf_counter()
+        self.cache.get_or_compute("grouping", key, compute)
+        return time.perf_counter() - t0, bool(ran)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -138,13 +218,11 @@ class MappingService:
 
         return prepare_groups(task_graph, machine, seed=seed, config=config)
 
-    @staticmethod
-    def _grouping_key(tg_key: int, m_key: int, seed, config) -> Tuple:
-        """The single authority on grouping cache-key shape — pre-warmed
-        entries (``grouping()``) and batch lookups (``_execute``) must
-        agree or the compute-once guarantee silently degrades."""
-        cfg = "default" if config is None else repr(config)
-        return (tg_key, m_key, int(seed), cfg)
+    # The single authority on grouping cache-key shape lives in
+    # repro.api.plan.grouping_artifact_key — pre-warmed entries
+    # (``grouping()``), plan nodes and stage execution (``_execute``)
+    # all key through it.
+    _grouping_key = staticmethod(grouping_artifact_key)
 
     def _baseline_def(self, request: MapRequest, *, need_metrics: bool) -> dict:
         """DEF's cached baseline: ``{"result", "stage_times", "metrics"}``.
@@ -246,23 +324,29 @@ class MappingService:
                 grouping_cached = True
             else:
                 tg_key, m_key = request.content_keys()
-                key = self._grouping_key(
+                key = grouping_artifact_key(
                     tg_key,
                     m_key,
                     request.effective_grouping_seed,
                     request.group_config,
                 )
-                grouping_cached = ("grouping", key) in self.cache
-                ctx.group_of_task, ctx.coarse = self.cache.get_or_compute(
-                    "grouping",
-                    key,
-                    lambda: self._compute_grouping(
+                ran: List[bool] = []
+
+                def compute():
+                    ran.append(True)
+                    return self._compute_grouping(
                         request.task_graph,
                         request.machine,
                         request.effective_grouping_seed,
                         request.group_config,
-                    ),
+                    )
+
+                ctx.group_of_task, ctx.coarse = self.cache.get_or_compute(
+                    "grouping", key, compute
                 )
+                # A disk-store read counts as cached: nothing was
+                # recomputed, so Figure 3's prep accounting bills 0.
+                grouping_cached = not ran
                 if not grouping_cached:
                     prep_time = time.perf_counter() - t0
             stage_times["grouping"] = time.perf_counter() - t0

@@ -1,0 +1,272 @@
+"""DiskArtifactStore — content-addressed, ``.npz``-backed artifact store.
+
+The cross-process layer of the artifact system (the ROADMAP's "cross-
+process artifact store" open item): where :class:`~repro.api.cache.
+ArtifactCache` is one process's in-memory LRU, this store persists
+selected namespaces to disk so *other* processes — the ``process``
+backend's pool workers, a later batch, a sibling service — can read an
+artifact instead of recomputing it.  The cache layers over the store
+transparently: a memory miss falls through to :meth:`load`, a computed
+value is written through with :meth:`save` (see
+``ArtifactCache(store=...)``).
+
+Layout and format
+-----------------
+One file per artifact: ``<root>/<namespace>/<sha256(key)[:32]>.npz``.
+Each file is a regular NumPy ``.npz`` archive holding
+
+* the artifact's ndarrays as native entries (zero-copy friendly,
+  CRC-checked by the zip container),
+* a JSON *manifest* describing how to reassemble nested
+  tuples/lists/dicts, :class:`~repro.topology.routing.RouteTable`
+  instances and plain scalars,
+* a pickle payload only for objects with no native encoding
+  (``TaskGraph``, ``MapperResult``, metrics dataclasses, …).
+
+The full key ``repr`` is stored in the manifest and verified on load,
+so a (vanishingly unlikely) filename-hash collision reads as a miss
+rather than silently returning the wrong artifact.
+
+Durability contract
+-------------------
+Writes are atomic (temp file + ``os.replace``) so concurrent writers of
+the same key — two pool workers racing on one artifact — each leave a
+complete file behind and readers never observe a torn write.  *Reads
+are corruption-tolerant*: a truncated, garbled or version-skewed file
+is treated as a miss (and the caller recomputes and overwrites it), so
+a crashed run can never poison the store.  Like any pickle-bearing
+cache directory, the store trusts its filesystem location; do not point
+it at a directory written by untrusted parties.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Hashable, List, Optional
+
+import numpy as np
+
+__all__ = ["DiskArtifactStore", "DEFAULT_PERSIST_NAMESPACES"]
+
+#: Namespaces worth sharing across processes by default: the expensive,
+#: deterministic artifacts the planner dedupes (groupings, initial route
+#: tables, DEF baselines and the derived coarse views).  Hop tables are
+#: excluded — they are cheap to rebuild and memoized per torus already.
+DEFAULT_PERSIST_NAMESPACES = frozenset(
+    {"grouping", "route_table", "def_baseline", "message_coarse", "unit_coarse"}
+)
+
+_MISSING = object()
+
+
+class DiskArtifactStore:
+    """Content-addressed artifact files under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created if absent).  Multiple
+        processes may share one root concurrently.
+    namespaces:
+        The namespaces an attached :class:`~repro.api.cache.ArtifactCache`
+        should persist (read *and* write through).  Direct
+        :meth:`save`/:meth:`load` calls are not restricted by this set.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        namespaces: frozenset = DEFAULT_PERSIST_NAMESPACES,
+    ) -> None:
+        self.root = os.path.abspath(root)
+        self.namespaces = frozenset(namespaces)
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def path_for(self, namespace: str, key: Hashable) -> str:
+        digest = hashlib.sha256(repr((namespace, key)).encode()).hexdigest()[:32]
+        return os.path.join(self.root, namespace, f"{digest}.npz")
+
+    # ------------------------------------------------------------------
+    # save / load
+    # ------------------------------------------------------------------
+    def save(self, namespace: str, key: Hashable, value: Any) -> str:
+        """Persist *value* atomically; returns the file path.
+
+        Concurrent writers of the same key are safe: each writes a
+        private temp file and ``os.replace``s it into place, so the file
+        is always a complete archive (last writer wins — artifacts are
+        deterministic in their key, so every writer stores equal bytes
+        of content).
+        """
+        path = self.path_for(namespace, key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        arrays: Dict[str, np.ndarray] = {}
+        manifest = {
+            "version": 1,
+            "key_repr": repr(key),
+            "value": _encode(value, arrays),
+        }
+        arrays["__manifest__"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        fd, tmp = tempfile.mkstemp(suffix=".npz.tmp", dir=directory)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load(self, namespace: str, key: Hashable, default: Any = None) -> Any:
+        """Read an artifact back; *default* on miss **or any corruption**.
+
+        Every failure mode — missing file, truncated zip, garbled JSON,
+        stale format version, key-hash collision, broken pickle — is a
+        miss, never an exception: the caller recomputes and overwrites.
+        """
+        path = self.path_for(namespace, key)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                manifest = json.loads(bytes(archive["__manifest__"]).decode("utf-8"))
+                if manifest.get("version") != 1:
+                    return default
+                if manifest.get("key_repr") != repr(key):
+                    return default  # filename-hash collision: not our key
+                return _decode(manifest["value"], archive)
+        except Exception:
+            return default
+
+    def contains(self, namespace: str, key: Hashable) -> bool:
+        """Cheap existence probe (does not validate the file's content)."""
+        return os.path.exists(self.path_for(namespace, key))
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear(self, namespace: Optional[str] = None) -> int:
+        """Delete stored artifacts (one namespace's, or all); returns count.
+
+        Also sweeps orphaned ``.npz.tmp`` files a crashed writer may
+        have left behind (they do not count toward the return value).
+        """
+        removed = 0
+        targets = [namespace] if namespace is not None else self._namespace_dirs()
+        for ns in targets:
+            directory = os.path.join(self.root, ns)
+            if not os.path.isdir(directory):
+                continue
+            for name in os.listdir(directory):
+                if name.endswith(".npz"):
+                    os.unlink(os.path.join(directory, name))
+                    removed += 1
+                elif name.endswith(".npz.tmp"):
+                    os.unlink(os.path.join(directory, name))
+        return removed
+
+    def file_count(self, namespace: Optional[str] = None) -> int:
+        """Number of stored artifact files (one namespace's, or all)."""
+        total = 0
+        targets = [namespace] if namespace is not None else self._namespace_dirs()
+        for ns in targets:
+            directory = os.path.join(self.root, ns)
+            if os.path.isdir(directory):
+                total += sum(
+                    1 for name in os.listdir(directory) if name.endswith(".npz")
+                )
+        return total
+
+    def _namespace_dirs(self) -> List[str]:
+        return [
+            name
+            for name in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, name))
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Value codec: ndarrays native, containers via manifest, pickle fallback.
+# ---------------------------------------------------------------------------
+
+
+def _encode(value: Any, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    """Encode *value* into a JSON-able spec, appending ndarrays to *arrays*."""
+    if isinstance(value, np.ndarray):
+        return {"kind": "ndarray", "id": _add_array(arrays, value)}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return {"kind": "scalar", "value": value}
+    if isinstance(value, (tuple, list)):
+        return {
+            "kind": "tuple" if isinstance(value, tuple) else "list",
+            "items": [_encode(v, arrays) for v in value],
+        }
+    if isinstance(value, dict) and all(isinstance(k, str) for k in value):
+        return {
+            "kind": "dict",
+            "keys": list(value.keys()),
+            "items": [_encode(v, arrays) for v in value.values()],
+        }
+    route_spec = _encode_route_table(value, arrays)
+    if route_spec is not None:
+        return route_spec
+    payload = np.frombuffer(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8
+    )
+    return {"kind": "pickle", "id": _add_array(arrays, payload)}
+
+
+def _decode(spec: Dict[str, Any], archive) -> Any:
+    kind = spec["kind"]
+    if kind == "ndarray":
+        return archive[spec["id"]]
+    if kind == "scalar":
+        return spec["value"]
+    if kind == "tuple":
+        return tuple(_decode(s, archive) for s in spec["items"])
+    if kind == "list":
+        return [_decode(s, archive) for s in spec["items"]]
+    if kind == "dict":
+        return {
+            k: _decode(s, archive) for k, s in zip(spec["keys"], spec["items"])
+        }
+    if kind == "route_table":
+        from repro.topology.routing import RouteTable
+
+        return RouteTable(
+            archive[spec["ptr"]], archive[spec["links"]], spec["num_links"]
+        )
+    if kind == "pickle":
+        return pickle.loads(bytes(archive[spec["id"]]))
+    raise ValueError(f"unknown artifact spec kind {kind!r}")
+
+
+def _encode_route_table(
+    value: Any, arrays: Dict[str, np.ndarray]
+) -> Optional[Dict[str, Any]]:
+    from repro.topology.routing import RouteTable
+
+    if not isinstance(value, RouteTable):
+        return None
+    return {
+        "kind": "route_table",
+        "ptr": _add_array(arrays, value.ptr),
+        "links": _add_array(arrays, value.links),
+        "num_links": int(value.num_links),
+    }
+
+
+def _add_array(arrays: Dict[str, np.ndarray], value: np.ndarray) -> str:
+    name = f"a{len(arrays)}"
+    arrays[name] = value
+    return name

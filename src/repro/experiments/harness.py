@@ -12,10 +12,20 @@ workloads, machines *and* groupings are namespaces in the same store the
 service uses for its own artifacts (DEF baselines, message-count coarse
 graphs), so a figure runner batching seven algorithms over one workload
 computes the grouping exactly once.
+
+Every figure runner calls ``cache.service.map_batch(...)``, which since
+the planner/executor split routes through the parallel execution engine
+(:mod:`repro.api.plan` / :mod:`repro.api.executor`).  The backend is
+``serial`` by default — bit-identical to the legacy sequential sweeps —
+and selectable per :class:`WorkloadCache` (or via the ``REPRO_BACKEND``
+/ ``REPRO_WORKERS`` environment variables), so the fig1–5/table1 sweeps
+and ``benchmarks/emit_bench.py`` can fan requests out over a thread or
+process pool without touching the runners.
 """
 
 from __future__ import annotations
 
+import os
 import zlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -146,11 +156,29 @@ class WorkloadCache:
     """
 
     def __init__(
-        self, profile: ExperimentProfile, artifacts: Optional[ArtifactCache] = None
+        self,
+        profile: ExperimentProfile,
+        artifacts: Optional[ArtifactCache] = None,
+        *,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.profile = profile
         self.artifacts = artifacts if artifacts is not None else ArtifactCache()
-        self.service = MappingService(cache=self.artifacts)
+        if backend is None:
+            backend = os.environ.get("REPRO_BACKEND", "serial")
+        if workers is None:
+            env_workers = os.environ.get("REPRO_WORKERS")
+            if env_workers:
+                try:
+                    workers = int(env_workers)
+                except ValueError:
+                    raise ValueError(
+                        f"REPRO_WORKERS must be an integer, got {env_workers!r}"
+                    ) from None
+        self.service = MappingService(
+            cache=self.artifacts, backend=backend, workers=workers
+        )
         # Key harness artifacts by the profile's *content*, not just its
         # display name — two same-named profiles with different
         # parameters sharing one ArtifactCache must not collide.

@@ -127,6 +127,11 @@ class CongestionModel:
         else:
             route_table = route_table.copy()
         self.routes = route_table
+        #: Per-candidate deltas stashed by the last ``evaluate_swaps``
+        #: batch so the winning candidate's commit can reuse them
+        #: instead of re-deriving (one ``routes_bulk`` saved per
+        #: commit); invalidated by every committed swap.
+        self._eval_stash = None
         self._refresh_comm_index()  # also accumulates msgs/vols
 
     # ------------------------------------------------------------------
@@ -358,8 +363,12 @@ class CongestionModel:
         ``swap_improves(t1, cands[k])`` — with one ``routes_bulk`` call
         for all candidates' moved edges (old-route deltas are gathered
         from the cached table) instead of two enumerations per
-        candidate.
+        candidate.  The per-candidate deltas and replacement segments
+        are stashed so a following :meth:`commit_swap` of any candidate
+        reuses them instead of re-deriving (zero routing work per
+        commit).
         """
+        self._eval_stash = None
         cands = np.asarray(cands, dtype=np.int64)
         K = cands.shape[0]
         out = np.zeros(K, dtype=bool)
@@ -426,6 +435,35 @@ class CongestionModel:
         ul = uniq % nl
         bounds = np.searchsorted(uk, np.arange(K + 1))
 
+        # -- stash per-candidate commit payloads -----------------------
+        # Everything a commit needs is already here: the unique-link
+        # deltas per candidate (``ul``/``dm``/``dv`` sliced by
+        # ``bounds``) and the replacement CSR segments, reordered
+        # pair-major exactly like ``_swap_route_delta`` builds them.
+        # The slices reproduce the scalar derivation bit for bit — same
+        # unique-link order, same bincount accumulation order.
+        order_n = np.argsort(msg_n, kind="stable")
+        kept_total = int(keep.sum())
+        kept_counts = np.bincount(msg_n, minlength=kept_total)
+        msg_ptr = np.zeros(kept_total + 1, dtype=np.int64)
+        np.cumsum(kept_counts, out=msg_ptr[1:])
+        kept_k = k_of[keep]
+        self._eval_stash = {
+            "t1": int(t1),
+            "cands": cands,
+            "ul": ul,
+            "dm": dm,
+            "dv": dv,
+            "bounds": bounds,
+            "e_of": e_of,
+            "edge_bounds": np.searchsorted(k_of, np.arange(K + 1)),
+            "kept_e": e_of[keep],
+            "kept_counts": kept_counts,
+            "msg_bounds": np.searchsorted(kept_k, np.arange(K + 1)),
+            "msg_ptr": msg_ptr,
+            "sorted_new_links": links_n[order_n],
+        }
+
         # -- verdicts (scalar rule per candidate; K ≤ Δ) ---------------
         load, mc, ac, top, total_base, base_used = self._probe_context()
         for k in range(K):
@@ -438,6 +476,41 @@ class CongestionModel:
     # ------------------------------------------------------------------
     # commits
     # ------------------------------------------------------------------
+    def _stashed_commit_payload(self, t1: int, t2: int):
+        """The last ``evaluate_swaps`` batch's payload for (t1, t2), if any.
+
+        Returns the same six-tuple ``_swap_route_delta`` derives —
+        unique-link deltas plus replacement CSR segments — sliced out of
+        the stashed batch, or ``None`` when the pair was not in the
+        batch (the scalar probe path, or a foreign swap).
+        """
+        stash = self._eval_stash
+        if stash is None or stash["t1"] != int(t1):
+            return None
+        hit = np.flatnonzero(stash["cands"] == int(t2))
+        if hit.size == 0:
+            return None
+        k = int(hit[0])
+        s, e = int(stash["bounds"][k]), int(stash["bounds"][k + 1])
+        es, ee = int(stash["edge_bounds"][k]), int(stash["edge_bounds"][k + 1])
+        edges = stash["e_of"][es:ee]
+        ms, me = int(stash["msg_bounds"][k]), int(stash["msg_bounds"][k + 1])
+        new_links = stash["sorted_new_links"][
+            stash["msg_ptr"][ms] : stash["msg_ptr"][me]
+        ]
+        new_counts = np.zeros(edges.shape[0], dtype=np.int64)
+        if me > ms:
+            pos = np.searchsorted(edges, stash["kept_e"][ms:me])
+            new_counts[pos] = stash["kept_counts"][ms:me]
+        return (
+            stash["ul"][s:e],
+            stash["dm"][s:e],
+            stash["dv"][s:e],
+            edges,
+            new_links,
+            new_counts,
+        )
+
     def commit_swap(self, t1: int, t2: int) -> None:
         """Apply the swap: exact sparse load deltas + route-table splice.
 
@@ -445,9 +518,16 @@ class CongestionModel:
         test), so the load arrays update in O(deg·D); the incident
         edges' new routes are spliced into the shared table and the
         ``commTasks`` index refreshes on its cadence — nothing is ever
-        re-enumerated from scratch.
+        re-enumerated from scratch.  When the swap was scored by the
+        preceding :meth:`evaluate_swaps` batch, the winning candidate's
+        deltas and replacement segments are reused verbatim, eliding
+        even the single ``routes_bulk`` pass ``_swap_route_delta`` would
+        spend.
         """
-        links, dm, dv, edges, new_links, new_counts = self._swap_route_delta(t1, t2)
+        payload = self._stashed_commit_payload(t1, t2)
+        if payload is None:
+            payload = self._swap_route_delta(t1, t2)
+        links, dm, dv, edges, new_links, new_counts = payload
         if links.size:
             self.msgs[links] += dm
             self.vols[links] += dv
@@ -459,6 +539,7 @@ class CongestionModel:
         self.host[n1] = t2
         self.host[n2] = t1
         self.routes.replace_routes(edges, new_links, new_counts)
+        self._eval_stash = None  # Γ changed: stale candidate deltas
         self._commits_since_refresh += 1
         if self._commits_since_refresh >= self.refresh_interval:
             self._refresh_comm_index()

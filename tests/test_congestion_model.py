@@ -236,6 +236,99 @@ class TestBatchedKernel:
             assert np.array_equal(g_batched, g_scalar)
 
 
+class TestCommitReusesEvaluatedDeltas:
+    """commit_swap reuses the winning candidate's ``evaluate_swaps`` deltas."""
+
+    @pytest.mark.parametrize("metric", ["volume", "message"])
+    @pytest.mark.parametrize("integer_volumes", [True, False])
+    def test_stashed_payload_equals_scalar_derivation(
+        self, metric, integer_volumes
+    ):
+        """The stash slices reproduce ``_swap_route_delta`` bit for bit."""
+        for seed in range(5):
+            tg, machine, gamma = make_instance(
+                seed + 40, integer_volumes=integer_volumes
+            )
+            model = model_for(tg, machine, gamma, metric)
+            rng = np.random.default_rng(seed + 4000)
+            for _ in range(8):
+                t1 = int(rng.integers(0, tg.num_tasks))
+                others = np.setdiff1d(np.arange(tg.num_tasks), [t1])
+                cands = rng.choice(
+                    others, size=min(8, others.size), replace=False
+                ).astype(np.int64)
+                model.evaluate_swaps(t1, cands)
+                for c in cands.tolist():
+                    stashed = model._stashed_commit_payload(t1, c)
+                    derived = model._swap_route_delta(t1, c)
+                    for a, b in zip(stashed, derived):
+                        assert np.array_equal(np.asarray(a), np.asarray(b))
+                a, b = (int(x) for x in rng.choice(tg.num_tasks, 2, replace=False))
+                model.commit_swap(a, b)
+
+    @pytest.mark.parametrize("metric", ["volume", "message"])
+    def test_commit_after_evaluate_matches_rebuild(self, metric):
+        """Delta-reused commits leave state == a from-scratch rebuild."""
+        for seed in range(5):
+            tg, machine, gamma = make_instance(seed + 70)
+            model = model_for(tg, machine, gamma, metric)
+            rng = np.random.default_rng(seed + 5000)
+            for _ in range(12):
+                t1 = int(rng.integers(0, tg.num_tasks))
+                others = np.setdiff1d(np.arange(tg.num_tasks), [t1])
+                cands = rng.choice(
+                    others, size=min(8, others.size), replace=False
+                ).astype(np.int64)
+                model.evaluate_swaps(t1, cands)
+                model.commit_swap(t1, int(cands[rng.integers(0, cands.size)]))
+            fresh = model_for(tg, machine, model.gamma, metric)
+            assert np.array_equal(model.msgs, fresh.msgs)
+            assert np.array_equal(model.vols, fresh.vols)
+            assert np.array_equal(model.routes.ptr, fresh.routes.ptr)
+            assert np.array_equal(model.routes.links, fresh.routes.links)
+
+    def test_commit_after_evaluate_enumerates_no_routes(self, monkeypatch):
+        """The winning candidate's commit performs zero ``routes_bulk`` calls."""
+        import repro.kernels.congestion as congestion_mod
+
+        tg, machine, gamma = make_instance(90)
+        model = model_for(tg, machine, gamma, "volume")
+        calls = []
+        real = congestion_mod.routes_bulk
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(congestion_mod, "routes_bulk", counting)
+        rng = np.random.default_rng(900)
+        t1 = int(rng.integers(0, tg.num_tasks))
+        others = np.setdiff1d(np.arange(tg.num_tasks), [t1])
+        cands = rng.choice(others, size=6, replace=False).astype(np.int64)
+        model.evaluate_swaps(t1, cands)  # one bulk enumeration
+        assert len(calls) == 1
+        model.commit_swap(t1, int(cands[2]))  # reuses the stashed deltas
+        assert len(calls) == 1
+        # A swap outside the evaluated batch still derives its own.
+        a, b = (int(x) for x in rng.choice(tg.num_tasks, 2, replace=False))
+        model.commit_swap(a, b)
+        assert len(calls) == 2
+
+    def test_stash_invalidated_by_commit(self):
+        tg, machine, gamma = make_instance(91)
+        model = model_for(tg, machine, gamma, "volume")
+        rng = np.random.default_rng(910)
+        t1 = int(rng.integers(0, tg.num_tasks))
+        others = np.setdiff1d(np.arange(tg.num_tasks), [t1])
+        cands = rng.choice(others, size=4, replace=False).astype(np.int64)
+        model.evaluate_swaps(t1, cands)
+        assert model._stashed_commit_payload(t1, int(cands[0])) is not None
+        model.commit_swap(t1, int(cands[0]))
+        # Γ changed: the remaining candidates' deltas are stale.
+        assert model._eval_stash is None
+        assert model._stashed_commit_payload(t1, int(cands[1])) is None
+
+
 class TestSharedRouteTable:
     def test_model_copies_external_table(self):
         """A cached table handed to the model must stay pristine."""

@@ -11,10 +11,25 @@ Snapshots from different hardware drift for non-code reasons; the gate
 is deliberately coarse (geo-mean across all algorithms, generous
 threshold) to catch real hot-path regressions, not scheduler noise.
 
+With ``--gate-batch`` the ``batch_throughput`` section is gated too
+(the scheduled CI perf job passes it, closing the ROADMAP's "once
+multi-core snapshots exist" item):
+
+* **Self-consistency** — every persistent-pool measurement's amortized
+  per-batch time must beat the spawn-per-call backend of the same
+  shape (the serving layer's raison d'être; hardware-independent, so
+  it gates on every host).
+* **Cross-snapshot** — when *both* snapshots were emitted on
+  multi-core hosts (``cpus >= 2``), the geometric mean of the
+  requests/sec ratios (baseline / new) over the backends both carry
+  must not exceed the threshold.  Single-core baselines (like the
+  build container's) skip this check with a note instead of gating on
+  numbers that cannot show scaling.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/compare_bench.py NEW.json [BASELINE.json]
-        [--threshold 1.25]
+        [--threshold 1.25] [--gate-batch]
 
 With no explicit baseline, the highest-numbered ``BENCH_<n>.json`` in
 the repository root that is not the new snapshot itself is used.
@@ -32,7 +47,12 @@ from typing import Dict, List, Optional, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-__all__ = ["compare_snapshots", "latest_snapshot", "main"]
+__all__ = [
+    "compare_snapshots",
+    "gate_batch_throughput",
+    "latest_snapshot",
+    "main",
+]
 
 
 def latest_snapshot(exclude: Optional[str] = None) -> Optional[str]:
@@ -82,6 +102,109 @@ def compare_snapshots(
     return ok, geo_ratio, lines
 
 
+def _throughput_rps(section: dict) -> Dict[str, float]:
+    """Flatten a ``batch_throughput`` section to ``label -> requests/sec``.
+
+    Labels are ``serial``, ``thread@2``, ``process@4``,
+    ``persistent-thread@2``, … — whatever the snapshot carries.
+    """
+    out: Dict[str, float] = {}
+    serial = section.get("serial", {})
+    if serial.get("requests_per_s"):
+        out["serial"] = float(serial["requests_per_s"])
+    for backend in ("thread", "process"):
+        for workers, m in section.get(backend, {}).items():
+            if m.get("requests_per_s"):
+                out[f"{backend}@{workers}"] = float(m["requests_per_s"])
+    for backend, widths in section.get("persistent", {}).items():
+        for workers, m in widths.items():
+            if m.get("requests_per_s"):
+                out[f"persistent-{backend}@{workers}"] = float(m["requests_per_s"])
+    return out
+
+
+def gate_batch_throughput(
+    baseline: dict, new: dict, threshold: float = 1.25
+) -> Tuple[bool, List[str]]:
+    """``(ok, report_lines)`` for the batch-throughput gates.
+
+    See the module docstring: a hardware-independent self-consistency
+    gate (persistent pools must beat spawn-per-call of the same shape)
+    plus a cross-snapshot requests/sec gate that only arms when both
+    snapshots come from multi-core hosts.
+    """
+    import math
+
+    lines: List[str] = []
+    ok = True
+    section = new.get("batch_throughput")
+    if not section:
+        return False, ["batch gate: new snapshot has no batch_throughput section"]
+
+    persistent = section.get("persistent", {})
+    if not persistent:
+        ok = False
+        lines.append("batch gate: new snapshot has no persistent-pool block")
+    compared = 0
+    for backend, widths in persistent.items():
+        for workers, m in widths.items():
+            spawn = section.get(backend, {}).get(workers, {}).get("elapsed_s")
+            amortized = m.get("amortized_elapsed_s")
+            if spawn is None or amortized is None:
+                ok = False
+                lines.append(
+                    f"batch gate: persistent-{backend}@{workers} has no "
+                    "matching spawn-per-call measurement (MALFORMED)"
+                )
+                continue
+            compared += 1
+            good = amortized < spawn
+            ok = ok and good
+            lines.append(
+                f"batch gate: persistent-{backend}@{workers} amortized "
+                f"{amortized:.2f} s vs spawn-per-call {spawn:.2f} s "
+                f"({'OK' if good else 'REGRESSION'})"
+            )
+    if persistent and not compared:
+        # A green gate must mean the check actually ran.
+        ok = False
+        lines.append("batch gate: zero persistent/spawn pairs compared (MALFORMED)")
+
+    base_section = baseline.get("batch_throughput")
+    base_cpus = int(baseline.get("cpus", 1) or 1)
+    new_cpus = int(new.get("cpus", 1) or 1)
+    if not base_section:
+        lines.append("batch gate: baseline has no batch_throughput; cross-check skipped")
+    elif base_cpus < 2 or new_cpus < 2:
+        lines.append(
+            f"batch gate: cross-check skipped (baseline cpus={base_cpus}, "
+            f"new cpus={new_cpus}; needs multi-core on both sides)"
+        )
+    else:
+        base_rps = _throughput_rps(base_section)
+        new_rps = _throughput_rps(section)
+        shared = sorted(k for k in base_rps if k in new_rps)
+        if not shared:
+            lines.append("batch gate: snapshots share no throughput entries")
+        else:
+            log_sum = 0.0
+            for label in shared:
+                ratio = base_rps[label] / new_rps[label]
+                log_sum += math.log(ratio)
+                lines.append(
+                    f"batch gate: {label:>22s} {base_rps[label]:8.2f} -> "
+                    f"{new_rps[label]:8.2f} req/s (ratio {ratio:.3f})"
+                )
+            geo = math.exp(log_sum / len(shared))
+            good = geo <= threshold
+            ok = ok and good
+            lines.append(
+                f"batch gate: geo-mean throughput ratio {geo:.3f} "
+                f"({'OK' if good else 'REGRESSION'}, threshold {threshold:.2f})"
+            )
+    return ok, lines
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail on a geo-mean map-time regression between snapshots."
@@ -99,6 +222,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1.25,
         help="maximum allowed geo-mean ratio new/baseline (default 1.25)",
     )
+    parser.add_argument(
+        "--gate-batch",
+        action="store_true",
+        help="also gate the batch_throughput section (persistent pools "
+        "must beat spawn-per-call; multi-core snapshots gate requests/sec)",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or latest_snapshot(exclude=args.new)
@@ -111,6 +240,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.new) as fh:
             new = json.load(fh)
         ok, _, lines = compare_snapshots(baseline, new, args.threshold)
+        if args.gate_batch:
+            batch_ok, batch_lines = gate_batch_throughput(
+                baseline, new, args.threshold
+            )
+            ok = ok and batch_ok
+            lines += batch_lines
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

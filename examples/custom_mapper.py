@@ -16,6 +16,12 @@ intuition), the task groups are linearized by a heaviest-edge graph
 traversal, and the two linear orders are zipped together — heavy
 communicators end up on curve-adjacent nodes.
 
+This prototype has since been promoted into a first-class family:
+``repro.mapping.sfc`` registers ``SFC``/``SFCWH`` (Hilbert/Gray curves
+from ``repro.util.sfc``, capacity-aware zip) as builtins — the run
+below puts the built-in SFC next to the hand-rolled SNAKE so you can
+see the registry treating both identically.
+
 Run:  python examples/custom_mapper.py
 """
 
@@ -105,7 +111,7 @@ def main() -> None:
         MapRequest(
             task_graph=tg,
             machine=machine,
-            algorithms=("DEF", "UG", "UWH", "SNAKE"),
+            algorithms=("DEF", "UG", "UWH", "SNAKE", "SFC"),
             seed=1,
             evaluate=True,
         )

@@ -54,6 +54,8 @@ from repro.sim import CommOnlyApp, FlowSimulator, SpMVSimulator
 from repro.analysis import nnls_regression, geometric_mean
 from repro.api import (
     ArtifactCache,
+    AsyncMappingService,
+    ExecutorPool,
     MapRequest,
     MapResponse,
     MapperSpec,
@@ -100,6 +102,8 @@ __all__ = [
     "geometric_mean",
     "quick_map",
     "ArtifactCache",
+    "AsyncMappingService",
+    "ExecutorPool",
     "MapRequest",
     "MapResponse",
     "MapperSpec",

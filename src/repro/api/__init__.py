@@ -31,10 +31,22 @@ Third-party algorithms register through the public decorator::
         ...
         return gamma
 
+For serving (many batches through one process), keep the workers and
+artifact store alive across calls::
+
+    from repro.api import AsyncMappingService, ExecutorPool
+
+    with ExecutorPool("process", workers=4, idle_timeout=30) as pool:
+        service = MappingService(pool=pool)       # sync front end
+        async with AsyncMappingService(pool=pool) as aio:  # or awaitable
+            ...
+
 Also runnable as a CLI: ``python -m repro.api map --matrix cage15_like
---algos UWH,UMC --json``.
+--algos UWH,UMC --json`` (installed as the ``repro-map`` console
+script); ``map-batch --follow`` serves a JSONL request stream.
 """
 
+from repro.api.aio import AsyncMappingService
 from repro.api.cache import (
     ArtifactCache,
     CacheStats,
@@ -44,6 +56,7 @@ from repro.api.cache import (
 )
 from repro.api.executor import BACKENDS, execute_plan
 from repro.api.plan import Plan, PlanNode, build_plan
+from repro.api.pool import POOL_BACKENDS, ExecutorPool
 from repro.api.store import DiskArtifactStore
 from repro.api.registry import (
     MapperRegistrationError,
@@ -70,9 +83,12 @@ from repro.api.stages import (
 
 __all__ = [
     "ArtifactCache",
+    "AsyncMappingService",
     "BACKENDS",
     "CacheStats",
     "DiskArtifactStore",
+    "ExecutorPool",
+    "POOL_BACKENDS",
     "Plan",
     "PlanNode",
     "build_plan",

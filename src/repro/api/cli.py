@@ -15,6 +15,16 @@ Subcommands
     ``--workers N``, ``--store-dir`` for the cross-process artifact
     store) and report per-request results plus batch throughput.
 
+    With ``--follow``, the manifest becomes a JSONL *stream* (``-`` =
+    stdin) and the process turns into a long-running server: one
+    :class:`~repro.api.pool.ExecutorPool` and one warm artifact cache
+    serve every incoming batch, so pool spawn and cache warm-up are
+    paid once, not per batch.  Each input line is a request object, a
+    list of request objects (one batch), or ``{"defaults": {...}}`` to
+    update the stream's defaults; each served batch emits one JSON
+    line on stdout.  ``--idle-timeout`` reaps idle workers between
+    bursts (they respawn lazily).
+
 Examples::
 
     python -m repro.api list
@@ -23,6 +33,8 @@ Examples::
         --algos DEF,UG,UWH --stats
     python -m repro.api map-batch --manifest reqs.json --workers 4 \
         --backend process --json
+    ... | python -m repro.api map-batch --follow --manifest - \
+        --backend process --workers 4 --idle-timeout 30
 
 The manifest is either a JSON list of request objects or
 ``{"defaults": {...}, "requests": [...]}``; each request names a corpus
@@ -41,6 +53,7 @@ import argparse
 import json
 import sys
 import time
+from collections import OrderedDict
 from typing import List, Optional
 
 import numpy as np
@@ -120,11 +133,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--manifest",
         required=True,
-        help="JSON file: list of requests, or {defaults, requests}",
+        help="JSON file: list of requests, or {defaults, requests}; with "
+        "--follow: a JSONL stream of request objects/batches ('-' = stdin)",
     )
     p_batch.add_argument("--json", action="store_true", help="emit JSON")
     p_batch.add_argument(
         "--stats", action="store_true", help="print artifact-cache statistics"
+    )
+    p_batch.add_argument(
+        "--follow",
+        action="store_true",
+        help="serve mode: read request batches line by line from the "
+        "manifest stream, keeping one worker pool and warm caches alive "
+        "across batches; one JSON result line per batch",
+    )
+    p_batch.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="serve mode: reap idle pool workers after SEC seconds "
+        "(they respawn lazily on the next batch)",
     )
     _add_engine_args(p_batch)
     return parser
@@ -327,6 +356,10 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Built (task graph, machine) workloads a --follow server keeps warm;
+#: least-recently-used entries beyond this are dropped after each batch.
+_FOLLOW_WORKLOAD_LIMIT = 32
+
 #: Per-request fallbacks of the ``map-batch`` manifest (overridden by the
 #: manifest's ``defaults`` object, then by each request entry).
 _MANIFEST_DEFAULTS = {
@@ -341,22 +374,16 @@ _MANIFEST_DEFAULTS = {
 }
 
 
-def _manifest_requests(args: argparse.Namespace) -> List[MapRequest]:
-    """Parse the manifest into MapRequests (workloads built once per key)."""
-    with open(args.manifest) as fh:
-        payload = json.load(fh)
-    if isinstance(payload, list):
-        defaults, entries = {}, payload
-    elif isinstance(payload, dict):
-        defaults = payload.get("defaults", {})
-        entries = payload.get("requests")
-    else:
-        raise ValueError("manifest must be a JSON list or object")
-    if not isinstance(entries, list) or not entries:
-        raise ValueError("manifest needs a non-empty 'requests' list")
+def _requests_from_entries(
+    entries: List[dict], defaults: dict, workloads: dict
+) -> List[MapRequest]:
+    """Manifest entries → MapRequests; *workloads* caches built inputs.
 
+    Shared by the one-shot manifest path and the ``--follow`` stream —
+    the latter passes one *workloads* dict across all served batches,
+    so a stream hammering the same matrices builds each workload once.
+    """
     requests: List[MapRequest] = []
-    workloads = {}
     for i, entry in enumerate(entries):
         if not isinstance(entry, dict):
             raise ValueError(f"request #{i} must be an object, got {entry!r}")
@@ -383,6 +410,8 @@ def _manifest_requests(args: argparse.Namespace) -> List[MapRequest]:
         )
         if key not in workloads:
             workloads[key] = _build_workload(*key)
+        else:
+            workloads.move_to_end(key)  # follow mode bounds by recency
         tg, machine = workloads[key]
         requests.append(
             MapRequest(
@@ -398,7 +427,41 @@ def _manifest_requests(args: argparse.Namespace) -> List[MapRequest]:
     return requests
 
 
+def _manifest_requests(args: argparse.Namespace) -> List[MapRequest]:
+    """Parse the manifest into MapRequests (workloads built once per key)."""
+    with open(args.manifest) as fh:
+        payload = json.load(fh)
+    if isinstance(payload, list):
+        defaults, entries = {}, payload
+    elif isinstance(payload, dict):
+        defaults = payload.get("defaults", {})
+        entries = payload.get("requests")
+    else:
+        raise ValueError("manifest must be a JSON list or object")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("manifest needs a non-empty 'requests' list")
+    return _requests_from_entries(entries, defaults, OrderedDict())
+
+
+def _response_payload(r) -> dict:
+    """One response as the JSON object both batch modes emit."""
+    return {
+        "tag": r.tag,
+        "algorithm": r.algorithm,
+        "metrics": (
+            {k: float(v) for k, v in r.metrics.as_dict().items()}
+            if r.metrics is not None
+            else None
+        ),
+        "map_time_s": r.map_time,
+        "prep_time_s": r.prep_time,
+        "grouping_cached": r.grouping_cached,
+    }
+
+
 def _cmd_map_batch(args: argparse.Namespace) -> int:
+    if args.follow:
+        return _cmd_follow(args)
     requests = _manifest_requests(args)
     service = _build_service(args)
     t0 = time.perf_counter()
@@ -416,19 +479,7 @@ def _cmd_map_batch(args: argparse.Namespace) -> int:
     if args.json:
         payload = {
             **summary,
-            "results": [
-                {
-                    "tag": r.tag,
-                    "algorithm": r.algorithm,
-                    "metrics": {
-                        k: float(v) for k, v in r.metrics.as_dict().items()
-                    },
-                    "map_time_s": r.map_time,
-                    "prep_time_s": r.prep_time,
-                    "grouping_cached": r.grouping_cached,
-                }
-                for r in responses
-            ],
+            "results": [_response_payload(r) for r in responses],
         }
         if args.stats:
             payload["cache_stats"] = _stats_payload(service.cache)
@@ -455,6 +506,113 @@ def _cmd_map_batch(args: argparse.Namespace) -> int:
         )
     if args.stats:
         _print_stats(service, args.backend)
+    return 0
+
+
+def _cmd_follow(args: argparse.Namespace) -> int:
+    """Serve mode: one pool + warm caches over a JSONL request stream.
+
+    Reads the manifest stream line by line (``-`` = stdin).  A line is
+    a request object, a list of request objects (one batch), or
+    ``{"defaults": {...}}`` updating the stream's defaults.  Every
+    served batch prints one JSON line; malformed lines report an error
+    line and the server keeps going.  Workloads, the artifact cache and
+    the ExecutorPool persist across batches — that is the point.
+    """
+    from repro.api.pool import POOL_BACKENDS, ExecutorPool
+
+    pool = None
+    if args.backend in POOL_BACKENDS:
+        pool = ExecutorPool(
+            args.backend,
+            workers=args.workers,
+            store_dir=args.store_dir,
+            idle_timeout=args.idle_timeout,
+        )
+    service = MappingService(
+        # The front-end cache layers over the pool's store so the
+        # cache bounds and --stats describe the serving configuration
+        # on every backend (process workers share the same store).
+        cache=ArtifactCache(
+            max_entries=args.cache_entries,
+            max_bytes=args.cache_bytes,
+            store=pool.store if pool is not None else None,
+        ),
+        backend=args.backend,
+        workers=args.workers,
+        pool=pool,
+    )
+    stream = sys.stdin if args.manifest == "-" else open(args.manifest)
+    # Built workloads are LRU-bounded: a long-running server fed ever-
+    # changing matrices must not accumulate task graphs without limit.
+    workloads: "OrderedDict" = OrderedDict()
+    defaults: dict = {}
+    batches = served = 0
+    store_counts = {}
+    t_start = time.perf_counter()
+    try:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                payload = json.loads(line)
+                if isinstance(payload, dict) and set(payload) == {"defaults"}:
+                    defaults = {**defaults, **payload["defaults"]}
+                    continue
+                entries = payload if isinstance(payload, list) else [payload]
+                requests = _requests_from_entries(entries, defaults, workloads)
+                t0 = time.perf_counter()
+                responses = service.map_batch(requests)
+                elapsed = time.perf_counter() - t0
+            except (ValueError, KeyError, TypeError) as exc:
+                print(
+                    json.dumps({"line": lineno, "error": str(exc)}), flush=True
+                )
+                continue
+            batches += 1
+            served += len(requests)
+            while len(workloads) > _FOLLOW_WORKLOAD_LIMIT:
+                workloads.popitem(last=False)
+            print(
+                json.dumps(
+                    {
+                        "batch": batches,
+                        "line": lineno,
+                        "requests": len(requests),
+                        "elapsed_s": elapsed,
+                        "results": [_response_payload(r) for r in responses],
+                    }
+                ),
+                flush=True,
+            )
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+        if pool is not None:
+            if args.stats:
+                # Process workers keep private caches; the shared store
+                # is the observable footprint — count it before the
+                # shutdown (which may remove a temporary store).
+                store = pool.store
+                store_counts = {
+                    ns: store.file_count(ns)
+                    for ns in sorted(store.namespaces)
+                    if store.file_count(ns)
+                }
+            pool.shutdown()
+    total = time.perf_counter() - t_start
+    print(
+        f"served {batches} batches / {served} requests in {total:.3f} s "
+        f"(backend={args.backend}, workers={args.workers or 'auto'}, "
+        f"pool spawns={pool.spawn_count if pool is not None else 0})",
+        file=sys.stderr,
+    )
+    if args.stats:
+        print(service.cache.format_stats(), file=sys.stderr)
+        if store_counts:
+            summary = ", ".join(f"{ns}: {n}" for ns, n in store_counts.items())
+            print(f"Pool artifact store: {summary}", file=sys.stderr)
     return 0
 
 

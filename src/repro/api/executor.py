@@ -23,6 +23,15 @@ collects responses in request order:
     dependent algorithms.  When neither the caller nor the service
     provides a store directory, a temporary one lives for the batch.
 
+The thread/process executors above are **per batch**: spawned when
+``execute_plan`` starts and joined when it returns.  Passing ``pool=``
+(an :class:`~repro.api.pool.ExecutorPool`) runs the same DAG on
+long-lived workers instead — the executor and the artifact store
+survive across batches, which is the serving layer's amortization (see
+:mod:`repro.api.pool`).  Persistent process workers receive each
+batch's request list through the pool store rather than spawn-time
+``initargs``.
+
 Every backend honours the same DAG: a node runs only after its
 dependencies, so the planner's dedupe guarantees (one grouping per
 artifact key, one initial route enumeration per placement chain) hold
@@ -77,6 +86,7 @@ def execute_plan(
     backend: str = "serial",
     workers: Optional[int] = None,
     store_dir: Optional[str] = None,
+    pool=None,
 ) -> List[MapResponse]:
     """Run *plan* on *backend*; responses return in request order.
 
@@ -98,7 +108,14 @@ def execute_plan(
         Cross-process artifact directory for the ``process`` backend.
         Defaults to the service cache's attached store (if any), else a
         temporary directory scoped to this batch.
+    pool:
+        Optional :class:`~repro.api.pool.ExecutorPool`.  When given, the
+        plan runs on the pool's long-lived workers (the pool's backend
+        wins; *workers*/*store_dir* are the pool's concern) instead of a
+        batch-scoped executor.
     """
+    if pool is not None:
+        return _collect(plan, _run_pooled(plan, service, pool))
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     if backend == "serial":
@@ -186,6 +203,50 @@ def _run_process(
     finally:
         if tmp is not None:
             tmp.cleanup()
+
+
+def _run_pooled(plan: Plan, service, pool) -> List:
+    """Run the DAG on an :class:`~repro.api.pool.ExecutorPool`'s workers.
+
+    The thread flavour drives the caller's service exactly like the
+    batch-scoped thread backend (one in-memory cache, concurrency
+    enabled); the process flavour publishes the request list to the
+    pool's store, lets the long-lived workers pull and cache it, and
+    retires the payload when the batch completes.
+    """
+    if pool.backend == "thread":
+        service.cache.enable_concurrency()
+        with pool.session() as executor:
+
+            def submit(node: PlanNode):
+                return executor.submit(
+                    run_plan_node,
+                    service,
+                    plan.requests[node.request_index],
+                    node.kind,
+                    node.algorithm,
+                )
+
+            return _drive(plan, submit)
+
+    from repro.api.pool import _persistent_run_node
+
+    batch_key = pool.publish_batch(plan.requests)
+    try:
+        with pool.session() as executor:
+
+            def submit(node: PlanNode):
+                return executor.submit(
+                    _persistent_run_node,
+                    batch_key,
+                    node.request_index,
+                    node.kind,
+                    node.algorithm,
+                )
+
+            return _drive(plan, submit)
+    finally:
+        pool.release_batch(batch_key)
 
 
 def _drive(plan: Plan, submit: Callable[[PlanNode], "object"]) -> List:

@@ -1,0 +1,389 @@
+"""ExecutorPool — long-lived workers + artifact store for the serving layer.
+
+PR 4's execution engine spawns a fresh thread/process pool (and, for the
+process backend, warms a fresh artifact store) on *every* ``map_batch``
+call, which is the right shape for one-shot experiment sweeps but caps a
+serving deployment: pool spawn + store warm-up dominate small batches.
+An :class:`ExecutorPool` amortizes both across calls:
+
+* **Lazy spawn** — constructing a pool is free; workers start on the
+  first batch that needs them.
+* **Reuse** — every subsequent batch (from any thread, including the
+  async front end in :mod:`repro.api.aio`) runs on the same executor,
+  and process workers keep their warm in-memory artifact caches.
+* **One store** — the pool owns a :class:`~repro.api.store.
+  DiskArtifactStore` (caller-supplied directory or a pool-scoped
+  temporary one) that outlives individual batches, so groupings / route
+  tables / DEF baselines computed for batch *n* are disk hits for batch
+  *n + 1* even across worker processes.
+* **Idle reap** — with ``idle_timeout`` set, workers are shut down after
+  a quiet period and respawned lazily on the next batch; the store (and
+  therefore all warm artifacts) survives the reap.
+* **Re-init on config change** — :meth:`configure` tears the executor
+  down when the backend / width / store directory actually change and
+  the next batch respawns with the new shape.
+* **Clean shutdown** — context-manager exit or :meth:`shutdown` joins
+  the workers and removes a pool-owned temporary store; an ``atexit``
+  hook covers pools the caller forgot.
+
+Process workers receive each batch's request list through the pool
+store (namespace ``"batch"``, written once per batch and deleted when
+the batch completes) instead of the spawn-time ``initargs`` channel the
+one-shot backend uses — long-lived workers must be able to serve
+batches that did not exist when they were spawned.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import tempfile
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from itertools import count
+from typing import List, Optional, Sequence, Tuple
+
+from repro.api.store import DEFAULT_PERSIST_NAMESPACES, DiskArtifactStore
+
+__all__ = ["ExecutorPool", "POOL_BACKENDS"]
+
+#: Backends a pool can host (``serial`` needs no workers to keep alive).
+POOL_BACKENDS: Tuple[str, ...] = ("thread", "process")
+
+#: Batches a worker process keeps decoded in memory (LRU).
+_WORKER_BATCH_LIMIT = 4
+
+
+class ExecutorPool:
+    """Reusable executor + artifact store shared across ``map_batch`` calls.
+
+    Parameters
+    ----------
+    backend:
+        ``"thread"`` or ``"process"`` (``serial`` has nothing to pool).
+    workers:
+        Pool width (``None`` = the affinity-aware
+        :func:`repro.api.executor.default_workers`).
+    store_dir:
+        Directory of the pool's artifact store.  ``None`` creates a
+        temporary directory owned (and removed at shutdown) by the pool.
+    idle_timeout:
+        Seconds of inactivity after which the workers are reaped
+        (``None`` = never).  The store survives; the next batch
+        respawns the executor.
+    worker_cache_bytes:
+        Byte budget of each process worker's in-memory artifact cache
+        (LRU-evicted; ``None`` = unbounded).  Long-lived workers need a
+        bound or their caches grow with every distinct workload served.
+
+    Use as a context manager, or call :meth:`shutdown` explicitly::
+
+        with ExecutorPool("process", workers=4) as pool:
+            service = MappingService(pool=pool)
+            for batch in batches:
+                service.map_batch(batch)   # one spawn, many batches
+    """
+
+    def __init__(
+        self,
+        backend: str = "thread",
+        *,
+        workers: Optional[int] = None,
+        store_dir: Optional[str] = None,
+        idle_timeout: Optional[float] = None,
+        worker_cache_bytes: Optional[int] = 256 << 20,
+        namespaces: frozenset = DEFAULT_PERSIST_NAMESPACES,
+    ) -> None:
+        if backend not in POOL_BACKENDS:
+            raise ValueError(
+                f"unknown pool backend {backend!r}; choose from {POOL_BACKENDS}"
+            )
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive (or None)")
+        self.backend = backend
+        self.workers = workers
+        self.store_dir = store_dir
+        self.idle_timeout = idle_timeout
+        self.worker_cache_bytes = worker_cache_bytes
+        self.namespaces = frozenset(namespaces)
+        #: Executor spawns over the pool's lifetime (lazy spawn + reap
+        #: + reconfigure make this observable; tests pin it).
+        self.spawn_count = 0
+
+        self._lock = threading.RLock()
+        self._executor = None
+        self._store: Optional[DiskArtifactStore] = None
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        self._active = 0
+        self._last_used = time.monotonic()
+        self._reap_timer: Optional[threading.Timer] = None
+        self._closed = False
+        self._batch_ids = count()
+        atexit.register(self.shutdown)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def executor_alive(self) -> bool:
+        """Whether workers are currently spawned (False after a reap)."""
+        with self._lock:
+            return self._executor is not None
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of live process-pool workers (empty for thread pools)."""
+        with self._lock:
+            ex = self._executor
+            if ex is None or self.backend != "process":
+                return []
+            # ProcessPoolExecutor keeps no public worker registry;
+            # degrade to empty rather than break if the private map
+            # ever moves.
+            return sorted(getattr(ex, "_processes", None) or {})
+
+    @property
+    def store(self) -> DiskArtifactStore:
+        """The pool's artifact store (created lazily, survives reaps)."""
+        with self._lock:
+            return self._ensure_store()
+
+    def configure(
+        self,
+        *,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        store_dir: Optional[str] = None,
+        idle_timeout: Optional[float] = None,
+    ) -> bool:
+        """Apply non-``None`` settings; re-init the executor on change.
+
+        Returns True when something changed (the running executor, if
+        any, was shut down and the next batch respawns with the new
+        configuration).  Raises while batches are in flight — a live
+        DAG must not lose its workers mid-run.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ExecutorPool is shut down")
+            changes = (
+                (backend is not None and backend != self.backend)
+                or (workers is not None and workers != self.workers)
+                or (store_dir is not None and store_dir != self.store_dir)
+            )
+            if idle_timeout is not None and idle_timeout != self.idle_timeout:
+                self.idle_timeout = idle_timeout
+                self._schedule_reap()
+            if not changes:
+                return False
+            if self._active:
+                raise RuntimeError(
+                    "cannot reconfigure an ExecutorPool while batches are in flight"
+                )
+            if backend is not None:
+                if backend not in POOL_BACKENDS:
+                    raise ValueError(
+                        f"unknown pool backend {backend!r}; "
+                        f"choose from {POOL_BACKENDS}"
+                    )
+                self.backend = backend
+            if workers is not None:
+                self.workers = workers
+            self._stop_executor(wait=True)
+            if store_dir is not None and store_dir != self.store_dir:
+                self._drop_store()
+                self.store_dir = store_dir
+            return True
+
+    def shutdown(self) -> None:
+        """Join the workers and remove a pool-owned temporary store.
+
+        Idempotent; also runs via ``atexit`` for pools never explicitly
+        closed, so a serving process exits without stray workers.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._stop_executor(wait=True)
+            self._drop_store()
+        atexit.unregister(self.shutdown)
+
+    def __enter__(self) -> "ExecutorPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # batch execution support (used by repro.api.executor)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def session(self):
+        """Borrow the live executor for one batch (spawning if needed)."""
+        with self._lock:
+            executor = self._ensure_executor()
+            self._active += 1
+            self._cancel_reap()
+        try:
+            yield executor
+        finally:
+            with self._lock:
+                self._active -= 1
+                self._last_used = time.monotonic()
+                self._schedule_reap()
+
+    def publish_batch(self, requests: Sequence) -> str:
+        """Write a batch's request list to the pool store; returns its key.
+
+        Long-lived process workers load (and LRU-cache) the list on the
+        first node of the batch they execute — the store replaces the
+        one-shot backend's spawn-time ``initargs`` channel.
+        """
+        key = f"{os.getpid()}-{next(self._batch_ids)}-{uuid.uuid4().hex[:8]}"
+        self.store.save("batch", key, tuple(requests))
+        return key
+
+    def release_batch(self, key: str) -> None:
+        """Delete a completed batch's request payload from the store."""
+        with self._lock:
+            store = self._store
+        if store is not None:
+            store.delete("batch", key)
+
+    # ------------------------------------------------------------------
+    # internals (all called under self._lock)
+    # ------------------------------------------------------------------
+    def _ensure_store(self) -> DiskArtifactStore:
+        if self._closed:
+            # A post-shutdown access must not resurrect a temporary
+            # store directory nobody would ever clean up.
+            raise RuntimeError("ExecutorPool is shut down")
+        if self._store is None:
+            root = self.store_dir
+            if root is None:
+                self._tmp = tempfile.TemporaryDirectory(prefix="repro-pool-")
+                root = self._tmp.name
+            self._store = DiskArtifactStore(root, namespaces=self.namespaces)
+        return self._store
+
+    def _ensure_executor(self):
+        if self._closed:
+            raise RuntimeError("ExecutorPool is shut down")
+        if self._executor is None:
+            from repro.api.executor import default_workers
+
+            width = self.workers if self.workers is not None else default_workers()
+            if self.backend == "thread":
+                self._executor = ThreadPoolExecutor(
+                    max_workers=width, thread_name_prefix="repro-pool"
+                )
+            else:
+                store = self._ensure_store()
+                self._executor = ProcessPoolExecutor(
+                    max_workers=width,
+                    initializer=_persistent_worker_init,
+                    initargs=(
+                        store.root,
+                        sorted(store.namespaces),
+                        self.worker_cache_bytes,
+                    ),
+                )
+            self.spawn_count += 1
+        return self._executor
+
+    def _stop_executor(self, *, wait: bool) -> None:
+        self._cancel_reap()
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    def _drop_store(self) -> None:
+        self._store = None
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    def _cancel_reap(self) -> None:
+        if self._reap_timer is not None:
+            self._reap_timer.cancel()
+            self._reap_timer = None
+
+    def _schedule_reap(self) -> None:
+        self._cancel_reap()
+        if (
+            self.idle_timeout is None
+            or self._executor is None
+            or self._active
+            or self._closed
+        ):
+            return
+        timer = threading.Timer(self.idle_timeout, self._maybe_reap)
+        timer.daemon = True
+        self._reap_timer = timer
+        timer.start()
+
+    def _maybe_reap(self) -> None:
+        with self._lock:
+            if self._closed or self._executor is None or self._active:
+                return
+            if time.monotonic() - self._last_used + 1e-3 < (self.idle_timeout or 0):
+                self._schedule_reap()  # touched since the timer was set
+                return
+            # Workers are idle by construction, so the join is immediate;
+            # the store (and its warm artifacts) survives the reap.
+            self._stop_executor(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# Persistent process-pool worker side.
+# ---------------------------------------------------------------------------
+
+_WORKER_SERVICE = None
+_WORKER_STORE: Optional[DiskArtifactStore] = None
+_WORKER_BATCHES: "OrderedDict[str, tuple]" = OrderedDict()
+
+
+def _persistent_worker_init(
+    store_root: str, namespaces: Sequence[str], cache_bytes: Optional[int]
+) -> None:
+    """Build this worker's long-lived service over the pool's store."""
+    global _WORKER_SERVICE, _WORKER_STORE, _WORKER_BATCHES
+    from repro.api.cache import ArtifactCache
+    from repro.api.service import MappingService
+
+    _WORKER_STORE = DiskArtifactStore(store_root, namespaces=frozenset(namespaces))
+    _WORKER_SERVICE = MappingService(
+        cache=ArtifactCache(store=_WORKER_STORE, max_bytes=cache_bytes)
+    )
+    _WORKER_BATCHES = OrderedDict()
+
+
+def _persistent_run_node(
+    batch_key: str, request_index: int, kind: str, algorithm: Optional[str]
+):
+    """Execute one plan node of a published batch in this worker."""
+    from repro.api.executor import run_plan_node
+
+    requests = _WORKER_BATCHES.get(batch_key)
+    if requests is None:
+        requests = _WORKER_STORE.load("batch", batch_key)
+        if requests is None:
+            raise RuntimeError(
+                f"batch payload {batch_key!r} is missing from the pool store"
+            )
+        _WORKER_BATCHES[batch_key] = requests
+        while len(_WORKER_BATCHES) > _WORKER_BATCH_LIMIT:
+            _WORKER_BATCHES.popitem(last=False)
+    else:
+        _WORKER_BATCHES.move_to_end(batch_key)
+    return run_plan_node(
+        _WORKER_SERVICE, requests[request_index], kind, algorithm
+    )

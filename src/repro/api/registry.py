@@ -352,6 +352,29 @@ _BUILTIN_SPECS = (
         fine_refine=("fine_wh",),
         description="UWH + rank-level WH swap refinement",
     ),
+    # -- algorithm families beyond the paper (ROADMAP directions) --------
+    MapperSpec(
+        name="HIER",
+        placement="hier",
+        description="Hierarchical per-dimension partitioning (Schulz & Woydt)",
+    ),
+    MapperSpec(
+        name="HIERWH",
+        placement="hier",
+        refine=("wh",),
+        description="HIER + Algorithm 2 WH swap refinement",
+    ),
+    MapperSpec(
+        name="SFC",
+        placement="sfc",
+        description="Geometric SFC curve-zip placement (Deveci et al.)",
+    ),
+    MapperSpec(
+        name="SFCWH",
+        placement="sfc",
+        refine=("wh",),
+        description="SFC + Algorithm 2 WH swap refinement",
+    ),
 )
 
 for _spec in _BUILTIN_SPECS:

@@ -78,17 +78,33 @@ class MappingService:
     workers:
         Default pool width for the parallel backends (``None`` = CPU
         count).
+    pool:
+        Optional long-lived :class:`~repro.api.pool.ExecutorPool`.
+        When attached, :meth:`map_batch` reuses the pool's workers and
+        store for every non-serial batch instead of spawning per call —
+        the serving-layer configuration.  The pool's backend becomes
+        the service default unless *backend* is given explicitly
+        (``MappingService(backend="serial", pool=pool)`` keeps the
+        serial reference path as the default while the pool stays
+        available to per-call overrides); per-call ``backend=``/
+        ``workers=`` overrides *reconfigure the pool* (its next batch
+        respawns with the new shape), and ``backend="serial"`` bypasses
+        it.  The pool is shared, not owned: shut it down where it was
+        created.
     """
 
     def __init__(
         self,
         cache: Optional[ArtifactCache] = None,
         *,
-        backend: str = "serial",
+        backend: Optional[str] = None,
         workers: Optional[int] = None,
+        pool=None,
     ) -> None:
         from repro.api.executor import BACKENDS
 
+        if backend is None:
+            backend = pool.backend if pool is not None else "serial"
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}"
@@ -96,6 +112,7 @@ class MappingService:
         self.cache = cache if cache is not None else ArtifactCache()
         self.backend = backend
         self.workers = workers
+        self.pool = pool
 
     # ------------------------------------------------------------------
     # Public API
@@ -116,6 +133,7 @@ class MappingService:
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         store_dir: Optional[str] = None,
+        pool=None,
     ) -> List[MapResponse]:
         """Run one or many requests, all algorithms, sharing the cache.
 
@@ -133,14 +151,32 @@ class MappingService:
         process backend at a persistent cross-process artifact
         directory (default: the cache's attached store, else a
         temporary one).
+
+        With a *pool* (argument or service-attached
+        :class:`~repro.api.pool.ExecutorPool`), the batch runs on the
+        pool's long-lived workers: explicit ``backend=``/``workers=``
+        overrides reconfigure the pool, ``store_dir`` is ignored (the
+        pool owns its store), and ``backend="serial"`` falls back to
+        the in-line reference path.
         """
         from repro.api.executor import execute_plan
 
         plan = build_plan(requests)
+        pool = pool if pool is not None else self.pool
+        # self.backend already defaulted to the pool's backend at
+        # construction, so an explicit constructor backend= (e.g. the
+        # serial reference path next to an attached pool) stays honored.
+        resolved = backend if backend is not None else self.backend
+        if pool is not None and resolved != "serial":
+            pool.configure(
+                backend=resolved,
+                workers=workers if workers is not None else self.workers,
+            )
+            return execute_plan(plan, self, pool=pool)
         return execute_plan(
             plan,
             self,
-            backend=backend if backend is not None else self.backend,
+            backend=resolved,
             workers=workers if workers is not None else self.workers,
             store_dir=store_dir,
         )

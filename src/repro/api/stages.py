@@ -206,6 +206,22 @@ def _place_consecutive(ctx: StageContext) -> Mapping:
     return Mapping(ctx.machine.alloc_nodes.copy(), ctx.machine)
 
 
+@register_placement_stage("hier")
+def _place_hier(ctx: StageContext) -> Mapping:
+    """Hierarchical per-dimension recursive partitioning (HIER family)."""
+    from repro.mapping.hier import HierMapper
+
+    return HierMapper(seed=ctx.seed).map(ctx.view, ctx.machine)
+
+
+@register_placement_stage("sfc")
+def _place_sfc(ctx: StageContext) -> Mapping:
+    """Geometric space-filling-curve zip placement (SFC family)."""
+    from repro.mapping.sfc import SFCMapper
+
+    return SFCMapper().map(ctx.view, ctx.machine)
+
+
 # ---------------------------------------------------------------------------
 # Built-in refine stages.
 # ---------------------------------------------------------------------------

@@ -152,6 +152,18 @@ class DiskArtifactStore:
         """Cheap existence probe (does not validate the file's content)."""
         return os.path.exists(self.path_for(namespace, key))
 
+    def delete(self, namespace: str, key: Hashable) -> bool:
+        """Remove one artifact; True when a file was deleted.
+
+        Used by :class:`~repro.api.pool.ExecutorPool` to retire a
+        batch's request payload once every node has executed.
+        """
+        try:
+            os.unlink(self.path_for(namespace, key))
+            return True
+        except OSError:
+            return False
+
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------

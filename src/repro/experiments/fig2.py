@@ -45,12 +45,15 @@ class Fig2Result:
     values: Dict[Tuple[int, str, str], float]
     #: geometric-mean mapping seconds per (procs, mapper) — Figure 3.
     times: Dict[Tuple[int, str], float]
+    #: the algorithms the sweep actually ran (figure order).
+    mappers: Tuple[str, ...] = MAPPER_NAMES
 
 
 def sweep_requests(
     profile: ExperimentProfile,
     cache: WorkloadCache,
     partitioner: str = "PATOH",
+    mappers: Tuple[str, ...] = MAPPER_NAMES,
 ) -> List[MapRequest]:
     """The Fig. 2/3 sweep as one request list, in sweep order.
 
@@ -58,7 +61,9 @@ def sweep_requests(
     seed formula, shared grouping seed, evaluation flag — used both by
     :func:`run_fig2` and by ``benchmarks/emit_bench.py``'s
     batch-throughput section, so the two always measure the same sweep.
-    Each request is tagged ``procs`` for aggregation.
+    Each request is tagged ``procs`` for aggregation.  *mappers*
+    defaults to the paper's seven algorithms; the perf snapshot passes
+    an extended list so new families get Fig. 3 entries too.
     """
     requests: List[MapRequest] = []
     for procs in profile.proc_counts:
@@ -70,7 +75,7 @@ def sweep_requests(
                     MapRequest(
                         task_graph=wl.task_graph,
                         machine=machine,
-                        algorithms=MAPPER_NAMES,
+                        algorithms=mappers,
                         seed=mix_seed(profile.seed, alloc_seed * 37 + procs),
                         grouping_seed=cache.grouping_seed(
                             entry.name, partitioner, procs, alloc_seed
@@ -86,6 +91,7 @@ def run_fig2(
     profile: Optional[ExperimentProfile] = None,
     cache: Optional[WorkloadCache] = None,
     partitioner: str = "PATOH",
+    mappers: Tuple[str, ...] = MAPPER_NAMES,
 ) -> Fig2Result:
     """Map every PATOH task graph with all seven algorithms.
 
@@ -102,15 +108,17 @@ def run_fig2(
     """
     profile = profile or get_profile("ci")
     cache = cache or WorkloadCache(profile)
+    if "DEF" not in mappers:
+        raise ValueError("run_fig2 normalizes to DEF; include it in mappers")
     values: Dict[Tuple[int, str, str], float] = {}
     times: Dict[Tuple[int, str], float] = {}
-    requests = sweep_requests(profile, cache, partitioner)
+    requests = sweep_requests(profile, cache, partitioner, mappers)
 
     for procs in profile.proc_counts:
         raw: Dict[str, Dict[str, List[float]]] = {
-            a: {m: [] for m in FIG2_METRICS} for a in MAPPER_NAMES
+            a: {m: [] for m in FIG2_METRICS} for a in mappers
         }
-        raw_times: Dict[str, List[float]] = {a: [] for a in MAPPER_NAMES}
+        raw_times: Dict[str, List[float]] = {a: [] for a in mappers}
         group = [r for r in requests if r.tag == procs]
         for response in cache.service.map_batch(group):
             algo = response.algorithm
@@ -118,7 +126,7 @@ def run_fig2(
             for m in FIG2_METRICS:
                 raw[algo][m].append(float(d[m]))
             raw_times[algo].append(max(response.map_time, 1e-6))
-        for algo in MAPPER_NAMES:
+        for algo in mappers:
             for m in FIG2_METRICS:
                 values[(procs, algo, m)] = geo_mean_ratio(raw[algo][m], raw["DEF"][m])
             times[(procs, algo)] = geometric_mean(raw_times[algo])
@@ -127,6 +135,7 @@ def run_fig2(
         proc_counts=tuple(profile.proc_counts),
         values=values,
         times=times,
+        mappers=tuple(mappers),
     )
 
 
@@ -142,7 +151,7 @@ def format_fig2(result: Fig2Result) -> str:
     lines.append(header)
     lines.append("-" * len(header))
     for procs in result.proc_counts:
-        for algo in MAPPER_NAMES:
+        for algo in result.mappers:
             row = " ".join(
                 f"{result.values[(procs, algo, m)]:7.3f}" for m in FIG2_METRICS
             )
@@ -153,7 +162,7 @@ def format_fig2(result: Fig2Result) -> str:
 def format_fig3(result: Fig2Result) -> str:
     """Figure 3 companion table: geometric-mean mapping times (seconds)."""
     lines = [f"Figure 3 (profile={result.profile}): geo-mean mapping times (s)"]
-    mappers = [a for a in MAPPER_NAMES if a != "DEF"]
+    mappers = [a for a in result.mappers if a != "DEF"]
     header = f"{'procs':>7s} " + " ".join(f"{a:>9s}" for a in mappers)
     lines.append(header)
     lines.append("-" * len(header))

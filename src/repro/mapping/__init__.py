@@ -19,6 +19,15 @@ Baselines
 * :class:`repro.mapping.scotchmap.ScotchMapper` — ``SMAP``: Scotch-like
   simultaneous dual recursive bipartitioning.
 
+Extended families
+-----------------
+* :class:`repro.mapping.hier.HierMapper` — ``HIER``/``HIERWH``:
+  hierarchical per-dimension recursive partitioning (Schulz & Woydt's
+  shared-memory hierarchical mapping, adapted to the torus geometry).
+* :class:`repro.mapping.sfc.SFCMapper` — ``SFC``/``SFCWH``: geometric
+  space-filling-curve zip placement (Deveci et al.'s ordering
+  strategies), promoted from ``examples/custom_mapper.py``.
+
 The two-phase driver (:mod:`repro.mapping.pipeline`) glues partitioning,
 coarsening, mapping and refinement together and expands the node-level
 mapping back to MPI ranks.
@@ -31,7 +40,15 @@ from repro.mapping.refine_mc import MCRefiner
 from repro.mapping.default import DefaultMapper
 from repro.mapping.topomap import TopoMapper
 from repro.mapping.scotchmap import ScotchMapper
-from repro.mapping.pipeline import TwoPhaseMapper, MapperResult, MAPPER_NAMES, get_mapper
+from repro.mapping.hier import HierMapper
+from repro.mapping.sfc import SFCMapper
+from repro.mapping.pipeline import (
+    FAMILY_MAPPER_NAMES,
+    MAPPER_NAMES,
+    MapperResult,
+    TwoPhaseMapper,
+    get_mapper,
+)
 
 __all__ = [
     "Mapping",
@@ -43,8 +60,11 @@ __all__ = [
     "DefaultMapper",
     "TopoMapper",
     "ScotchMapper",
+    "HierMapper",
+    "SFCMapper",
     "TwoPhaseMapper",
     "MapperResult",
     "MAPPER_NAMES",
+    "FAMILY_MAPPER_NAMES",
     "get_mapper",
 ]

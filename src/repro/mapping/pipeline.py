@@ -39,6 +39,7 @@ __all__ = [
     "MapperResult",
     "MAPPER_NAMES",
     "EXTENDED_MAPPER_NAMES",
+    "FAMILY_MAPPER_NAMES",
     "get_mapper",
     "prepare_groups",
 ]
@@ -50,6 +51,12 @@ MAPPER_NAMES: Tuple[str, ...] = ("DEF", "TMAP", "SMAP", "UG", "UWH", "UMC", "UMM
 #: unit-cost / TH adaptation of UG+UWH) and UWHF (UWH followed by the
 #: fine-level rank-swap refinement of Sec. III-B's discussion).
 EXTENDED_MAPPER_NAMES: Tuple[str, ...] = MAPPER_NAMES + ("UTH", "UWHF")
+
+#: Algorithm families beyond the paper, registered as first-class specs:
+#: hierarchical per-dimension partitioning (Schulz & Woydt) and geometric
+#: space-filling-curve placement (Deveci et al.), each bare and with the
+#: Algorithm 2 WH swap refinement on top.
+FAMILY_MAPPER_NAMES: Tuple[str, ...] = ("HIER", "HIERWH", "SFC", "SFCWH")
 
 
 @dataclass

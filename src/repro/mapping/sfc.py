@@ -1,0 +1,152 @@
+"""``SFC`` — geometric space-filling-curve placement family.
+
+Deveci et al.'s "Geometric Partitioning and Ordering Strategies for Task
+Mapping" show that purely *geometric* placements — linearize the machine
+along a locality-preserving curve, linearize the tasks, zip the two
+orders — are competitive with graph-based mappers at a fraction of the
+cost, because curve-adjacent nodes are physically close (the same
+intuition behind Cray ALPS' allocation ordering).
+
+This module promotes the ``examples/custom_mapper.py`` prototype into a
+first-class family: the allocated nodes are ordered along a curve from
+:mod:`repro.util.sfc` (Hilbert-over-(x,y) when the footprint allows it,
+reflected-Gray or snake sweeps otherwise), the task groups are ordered
+by a heaviest-edge-first traversal of the coarse graph, and the two
+linear orders are zipped under the per-node capacity constraints.  The
+registry composes it with the shared grouping and (for ``SFCWH``) the
+Algorithm 2 WH swap refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.task_graph import TaskGraph
+from repro.mapping.base import Mapping, validate_mapping
+from repro.topology.machine import Machine
+from repro.util.sfc import gray3d_order, sfc_node_order, snake3d_order
+
+__all__ = ["SFCMapper", "sfc_map", "CURVES"]
+
+#: Supported curve names: ``auto`` picks Hilbert-over-(x,y) when the
+#: torus footprint is a power-of-two square and snakes otherwise.
+CURVES = ("auto", "snake", "gray")
+
+
+def _curve_order(dims, curve: str) -> np.ndarray:
+    if curve == "snake":
+        return snake3d_order(dims)
+    if curve == "gray":
+        return gray3d_order(dims)
+    if curve == "auto":
+        return sfc_node_order(dims)
+    raise ValueError(f"unknown curve {curve!r}; choose from {CURVES}")
+
+
+def _heavy_edge_order(coarse: TaskGraph) -> np.ndarray:
+    """Linearize groups by a heaviest-edge-first DFS (deterministic).
+
+    Components are entered at their highest-volume unvisited vertex;
+    within the stack, heavier neighbors are expanded first (ties broken
+    by the lower vertex id, matching ``np.argsort``'s stable order).
+    """
+    graph = coarse.symmetrized()
+    n = coarse.num_tasks
+    volume = np.zeros(n)
+    np.add.at(volume, np.repeat(np.arange(n), np.diff(graph.indptr)), graph.weights)
+    seen = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    while pos < n:
+        start = int(np.argmax(np.where(seen, -np.inf, volume)))
+        stack = [start]
+        seen[start] = True
+        while stack:
+            u = stack.pop()
+            order[pos] = u
+            pos += 1
+            nbrs = graph.indices[graph.indptr[u]:graph.indptr[u + 1]]
+            wts = graph.weights[graph.indptr[u]:graph.indptr[u + 1]]
+            for v in nbrs[np.argsort(wts, kind="stable")]:  # heaviest popped first
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(int(v))
+    return order
+
+
+def sfc_map(
+    task_graph: TaskGraph, machine: Machine, *, curve: str = "auto"
+) -> np.ndarray:
+    """Zip a heavy-edge group order onto an SFC node order; returns Γ.
+
+    *task_graph* must be at node granularity (one group per allocated
+    node).  Each curve node receives the first not-yet-placed group in
+    traversal order that fits its capacity; groups left over by the
+    first-fit walk (possible only on heterogeneous-capacity machines)
+    are matched to the remaining nodes heaviest-group → roomiest-node,
+    which is feasible because the grouping stage sizes groups to the
+    capacity multiset exactly.
+    """
+    n = task_graph.num_tasks
+    if n != machine.num_alloc_nodes:
+        raise ValueError(
+            "SFC placement expects one task group per allocated node "
+            f"({n} groups, {machine.num_alloc_nodes} nodes)"
+        )
+    mask = machine.alloc_mask()
+    order = _curve_order(machine.torus.dims, curve)
+    curve_nodes = order[mask[order]]
+
+    groups = _heavy_edge_order(task_graph)
+    weights = task_graph.graph.vertex_weights
+    caps = machine.node_capacities().astype(np.float64)
+
+    gamma = np.full(n, -1, dtype=np.int64)
+    pending = groups.tolist()
+    free_nodes = []
+    for node in curve_nodes.tolist():
+        # An exact-weight match keeps the zip feasible on heterogeneous
+        # machines: the grouping stage sizes group weights to the
+        # capacity multiset, so matching weight classes never strands a
+        # heavy group on a small node.  Within the class the earliest
+        # group in traversal order wins, preserving curve locality.
+        pick = None
+        for i, g in enumerate(pending):
+            if abs(weights[g] - caps[node]) <= 1e-9:
+                pick = i
+                break
+        if pick is None:
+            # Multiset mismatch (custom groupings): take the heaviest
+            # fitting group, keeping the remainder as light as possible.
+            best = -1.0
+            for i, g in enumerate(pending):
+                if weights[g] <= caps[node] + 1e-9 and weights[g] > best:
+                    pick, best = i, float(weights[g])
+        if pick is None:
+            free_nodes.append(node)
+        else:
+            gamma[pending.pop(pick)] = node
+    if pending:
+        # Leftovers: big groups first onto the roomiest remaining nodes
+        # (node id breaks capacity ties for determinism).
+        pending.sort(key=lambda g: (-weights[g], g))
+        free_nodes.sort(key=lambda v: (-caps[v], v))
+        for g, node in zip(pending, free_nodes):
+            gamma[g] = node
+    validate_mapping(gamma, machine, weights)
+    return gamma
+
+
+@dataclass
+class SFCMapper:
+    """Space-filling-curve zip placement (the geometric family's base)."""
+
+    curve: str = "auto"
+
+    name: str = "SFC"
+
+    def map(self, task_graph: TaskGraph, machine: Machine) -> Mapping:
+        """Place one task group per allocated node along the curve."""
+        return Mapping(sfc_map(task_graph, machine, curve=self.curve), machine)

@@ -11,7 +11,16 @@ We provide two orderings over a 3-D grid:
 
 * :func:`snake3d_order` -- boustrophedon ("snake") sweep: x fastest with
   alternating direction per y row, y alternating per z plane.  This is the
-  classic xyz-ordering approximation of ALPS' linear ordering.
+  classic xyz-ordering approximation of ALPS' linear ordering (and exactly
+  the mixed-radix reflected-Gray enumeration of the grid).
+* :func:`gray3d_order` -- binary-reflected Gray-coded Morton order on
+  power-of-two grids: the combined bit index walks a Gray sequence, so
+  every step flips a single bit of a single coordinate.  Steps are
+  power-of-two jumps along one axis — single *wrap-hierarchy* moves on a
+  power-of-two torus rather than the snake's unit steps — which is the
+  Gray-code embedding the geometric-mapping literature uses to spread
+  consecutive ranks across wrap links.  Falls back to the snake sweep
+  when an extent is not a power of two.
 * :func:`hilbert2d_order` -- true Hilbert curve on a 2^k x 2^k grid, used by
   :func:`sfc_node_order` to order the (x, y) footprint when the torus has a
   shallow z dimension (as Gemini's torus does: two nodes share a router).
@@ -26,7 +35,7 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["snake3d_order", "hilbert2d_order", "sfc_node_order"]
+__all__ = ["snake3d_order", "gray3d_order", "hilbert2d_order", "sfc_node_order"]
 
 
 def snake3d_order(dims: Tuple[int, int, int]) -> np.ndarray:
@@ -51,6 +60,42 @@ def snake3d_order(dims: Tuple[int, int, int]) -> np.ndarray:
             for x in xs:
                 order[i] = x + nx * (y + ny * z)
                 i += 1
+    return order
+
+
+def gray3d_order(dims: Tuple[int, int, int]) -> np.ndarray:
+    """Gray-coded Morton ordering of a power-of-two ``(nx, ny, nz)`` grid.
+
+    The curve position's binary-reflected Gray code ``d ^ (d >> 1)`` is
+    de-interleaved (Morton-style, LSB-first round-robin over the
+    dimensions that still have bits) into the cell coordinates.
+    Consecutive positions differ in exactly one Gray bit, so every step
+    changes exactly one coordinate by a power of two — a single move in
+    the torus's wrap hierarchy.  Non-power-of-two extents fall back to
+    :func:`snake3d_order` (itself the mixed-radix reflected-Gray sweep).
+    """
+    nx, ny, nz = dims
+    if nx <= 0 or ny <= 0 or nz <= 0:
+        raise ValueError(f"dims must be positive, got {dims}")
+    if any(d & (d - 1) for d in dims):
+        return snake3d_order(dims)
+    bits = [d.bit_length() - 1 for d in dims]
+    # Bit j of the combined index belongs to (dimension, local bit):
+    # round-robin from the LSB across dimensions with bits remaining.
+    assignment = []
+    taken = [0, 0, 0]
+    while len(assignment) < sum(bits):
+        for axis in range(3):
+            if taken[axis] < bits[axis]:
+                assignment.append((axis, taken[axis]))
+                taken[axis] += 1
+    order = np.empty(nx * ny * nz, dtype=np.int64)
+    for d in range(order.shape[0]):
+        g = d ^ (d >> 1)
+        coord = [0, 0, 0]
+        for j, (axis, local_bit) in enumerate(assignment):
+            coord[axis] |= ((g >> j) & 1) << local_bit
+        order[d] = coord[0] + nx * (coord[1] + ny * coord[2])
     return order
 
 

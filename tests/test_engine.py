@@ -603,24 +603,29 @@ class TestMapBatchCli:
         assert main(["map-batch", "--manifest", manifest]) == 2
 
 
+def _load_compare_bench():
+    import importlib.util
+    import os
+
+    spec = importlib.util.spec_from_file_location(
+        "compare_bench",
+        os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "benchmarks",
+            "compare_bench.py",
+        ),
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
 class TestCompareBench:
     def _payload(self, times):
         return {"geo_mean_map_time_s": times}
 
     def test_detects_regression_and_ok(self):
-        import importlib.util
-        import os
-
-        spec = importlib.util.spec_from_file_location(
-            "compare_bench",
-            os.path.join(
-                os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-                "benchmarks",
-                "compare_bench.py",
-            ),
-        )
-        mod = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(mod)
+        mod = _load_compare_bench()
 
         base = self._payload({"UG": 0.010, "UWH": 0.020})
         same = self._payload({"UG": 0.010, "UWH": 0.020})
@@ -638,3 +643,70 @@ class TestCompareBench:
         assert ok
         with pytest.raises(ValueError):
             mod.compare_snapshots(base, self._payload({"OTHER": 1.0}))
+
+
+class TestBatchThroughputGate:
+    """The --gate-batch checks of benchmarks/compare_bench.py."""
+
+    def _snapshot(self, *, cpus, amortized, spawn, rps=10.0):
+        return {
+            "cpus": cpus,
+            "batch_throughput": {
+                "serial": {"elapsed_s": 10.0, "requests_per_s": rps},
+                "thread": {
+                    "2": {"elapsed_s": spawn, "requests_per_s": rps},
+                },
+                "process": {
+                    "2": {"elapsed_s": spawn, "requests_per_s": rps},
+                },
+                "persistent": {
+                    "thread": {
+                        "2": {
+                            "amortized_elapsed_s": amortized,
+                            "requests_per_s": 10.0 * spawn / amortized,
+                        }
+                    },
+                    "process": {
+                        "2": {
+                            "amortized_elapsed_s": amortized,
+                            "requests_per_s": 10.0 * spawn / amortized,
+                        }
+                    },
+                },
+            },
+        }
+
+    def test_persistent_must_beat_spawn_per_call(self):
+        mod = _load_compare_bench()
+        base = self._snapshot(cpus=1, amortized=5.0, spawn=10.0)
+        good = self._snapshot(cpus=1, amortized=5.0, spawn=10.0)
+        ok, lines = mod.gate_batch_throughput(base, good)
+        assert ok and any("OK" in line for line in lines)
+
+        bad = self._snapshot(cpus=1, amortized=12.0, spawn=10.0)
+        ok, lines = mod.gate_batch_throughput(base, bad)
+        assert not ok and any("REGRESSION" in line for line in lines)
+
+    def test_missing_sections_fail_or_skip(self):
+        mod = _load_compare_bench()
+        new = self._snapshot(cpus=4, amortized=5.0, spawn=10.0)
+        ok, lines = mod.gate_batch_throughput({}, {})
+        assert not ok
+        # Baseline without the section: self-gate runs, cross-check skips.
+        ok, lines = mod.gate_batch_throughput({}, new)
+        assert ok and any("skipped" in line for line in lines)
+
+    def test_cross_check_only_arms_on_multicore_pairs(self):
+        mod = _load_compare_bench()
+        single = self._snapshot(cpus=1, amortized=5.0, spawn=10.0)
+        multi_fast = self._snapshot(cpus=4, amortized=5.0, spawn=10.0, rps=10.0)
+        ok, lines = mod.gate_batch_throughput(single, multi_fast)
+        assert ok and any("cross-check skipped" in line for line in lines)
+
+        # Both multi-core: a 2x requests/sec collapse fails the gate.
+        multi_slow = self._snapshot(cpus=4, amortized=5.0, spawn=10.0, rps=5.0)
+        ok, lines = mod.gate_batch_throughput(multi_fast, multi_slow, 1.25)
+        assert not ok and any("geo-mean throughput" in line for line in lines)
+        # And the reverse (faster) direction passes.
+        ok, _ = mod.gate_batch_throughput(multi_slow, multi_fast, 1.25)
+        assert ok

@@ -30,6 +30,11 @@ setup(
             "pytest",
             "hypothesis",
             "pytest-benchmark",
+            # Chaos tests kill workers and respawn pools; a hang there
+            # must fail CI with a faulthandler traceback dump, not eat
+            # the job's 30-minute budget.  CI passes --timeout on the
+            # command line; local runs without the plugin still work.
+            "pytest-timeout",
             "ruff",
         ],
     },

@@ -41,6 +41,17 @@ artifact store alive across calls::
         async with AsyncMappingService(pool=pool) as aio:  # or awaitable
             ...
 
+Serving is fault tolerant: ``map_batch(..., retry=RetryPolicy(...),
+node_timeout=..., on_error="partial")`` retries transient node
+failures with backoff, bounds per-node wall time, and returns partial
+batch results (failed requests carry a structured
+:class:`~repro.api.fault.PlanError` on ``response.error``); a crashed
+process pool self-heals (:meth:`ExecutorPool.respawn`), re-running
+only the lost nodes and quarantining poison requests.  Degraded
+machines (dead links/nodes) are first-class via
+``Machine.degrade(...)`` with fault-avoiding rerouting in the
+topology layer.
+
 Also runnable as a CLI: ``python -m repro.api map --matrix cage15_like
 --algos UWH,UMC --json`` (installed as the ``repro-map`` console
 script); ``map-batch --follow`` serves a JSONL request stream.
@@ -55,6 +66,7 @@ from repro.api.cache import (
     task_graph_key,
 )
 from repro.api.executor import BACKENDS, execute_plan
+from repro.api.fault import FaultInjector, InjectedFault, PlanError, RetryPolicy
 from repro.api.plan import Plan, PlanNode, build_plan
 from repro.api.pool import POOL_BACKENDS, ExecutorPool
 from repro.api.store import DiskArtifactStore
@@ -88,7 +100,11 @@ __all__ = [
     "CacheStats",
     "DiskArtifactStore",
     "ExecutorPool",
+    "FaultInjector",
+    "InjectedFault",
     "POOL_BACKENDS",
+    "PlanError",
+    "RetryPolicy",
     "Plan",
     "PlanNode",
     "build_plan",

@@ -101,25 +101,43 @@ class AsyncMappingService:
     # ------------------------------------------------------------------
     # awaitable API
     # ------------------------------------------------------------------
-    async def map(self, request: MapRequest) -> MapResponse:
-        """Awaitable :meth:`MappingService.map` (exactly one algorithm)."""
+    async def map(self, request: MapRequest, **kwargs) -> MapResponse:
+        """Awaitable :meth:`MappingService.map` (exactly one algorithm).
+
+        Accepts the same ``timeout=`` / engine fault kwargs as
+        :meth:`map_batch`.
+        """
         if len(request.algorithms) != 1:
             raise ValueError(
                 f"map() takes exactly one algorithm, got {request.algorithms}; "
                 "use map_batch() for several"
             )
-        responses = await self.map_batch(request)
+        responses = await self.map_batch(request, **kwargs)
         return responses[0]
 
     async def map_batch(
         self,
         requests: Union[MapRequest, Iterable[MapRequest]],
+        *,
+        timeout: Optional[float] = None,
         **kwargs,
     ) -> List[MapResponse]:
         """Awaitable :meth:`MappingService.map_batch`; same kwargs.
 
         The plan builds and executes on a driver thread, so the event
         loop never blocks; at most ``max_in_flight`` plans run at once.
+
+        *timeout* bounds this batch's wall time: past it the await
+        fails with :class:`asyncio.TimeoutError`.  Engine-level fault
+        handling (``retry=``, ``node_timeout=``, ``on_error=``) passes
+        straight through to :meth:`MappingService.map_batch`.
+
+        Cancellation is safe at any point: a cancelled (or timed-out)
+        awaiter releases its ``max_in_flight`` slot immediately and the
+        service stays serviceable.  A plan already executing on a
+        driver thread runs to completion in the background — executors
+        cannot interrupt a running plan — but its results are
+        discarded and its slot is not held.
         """
         if not isinstance(requests, MapRequest):
             requests = tuple(requests)  # materialize off the loop's clock
@@ -132,10 +150,13 @@ class AsyncMappingService:
             loop = asyncio.get_running_loop()
             self._active += 1
             try:
-                return await loop.run_in_executor(
+                future = loop.run_in_executor(
                     self._drivers,
                     partial(self.service.map_batch, requests, **kwargs),
                 )
+                if timeout is not None:
+                    return await asyncio.wait_for(future, timeout)
+                return await future
             finally:
                 self._active -= 1
 

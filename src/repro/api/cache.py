@@ -87,9 +87,18 @@ def task_graph_key(task_graph) -> int:
 
 
 def machine_key(machine) -> int:
-    """Content key of a :class:`~repro.topology.machine.Machine`."""
+    """Content key of a :class:`~repro.topology.machine.Machine`.
+
+    A degraded machine (failure mask on its torus) fingerprints its
+    dead links/nodes too — a healthy and a degraded machine over the
+    same allocation must never share cached groupings, route tables or
+    baselines.  Healthy keys are unchanged.
+    """
     dims = np.asarray(machine.torus.dims, dtype=np.int64)
-    return fingerprint_arrays(dims, machine.alloc_nodes, machine.capacities)
+    arrays = [dims, machine.alloc_nodes, machine.capacities]
+    if machine.torus.has_faults:
+        arrays.extend(machine.torus.fault_arrays())
+    return fingerprint_arrays(*arrays)
 
 
 def _estimate_nbytes(value: Any, _depth: int = 0) -> int:

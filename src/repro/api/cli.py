@@ -14,6 +14,10 @@ Subcommands
     execution engine (``--backend serial|thread|process``,
     ``--workers N``, ``--store-dir`` for the cross-process artifact
     store) and report per-request results plus batch throughput.
+    Fault-tolerance knobs: ``--retries N`` (exponential backoff),
+    ``--node-timeout SEC`` (per-node deadline) and ``--partial``
+    (failed requests become structured error entries instead of
+    aborting the batch).
 
     With ``--follow``, the manifest becomes a JSONL *stream* (``-`` =
     stdin) and the process turns into a long-running server: one
@@ -195,6 +199,29 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="cross-process artifact store directory (persists groupings, "
         "route tables and DEF baselines across runs and pool workers)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a failing plan node up to N extra times with "
+        "exponential backoff (default: no retries)",
+    )
+    parser.add_argument(
+        "--node-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="per-node deadline on the thread/process backends; a node "
+        "past it fails with a structured timeout error",
+    )
+    parser.add_argument(
+        "--partial",
+        action="store_true",
+        help="return partial batch results: a failed request becomes a "
+        "structured error entry instead of aborting the whole batch "
+        "(--follow mode always serves partial results)",
+    )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -271,6 +298,20 @@ def _build_service(args: argparse.Namespace) -> MappingService:
     )
 
 
+def _fault_kwargs(args: argparse.Namespace, *, partial: bool = False) -> dict:
+    """``map_batch`` fault-tolerance kwargs from the CLI flags."""
+    from repro.api.fault import RetryPolicy
+
+    kwargs: dict = {}
+    if getattr(args, "retries", None):
+        kwargs["retry"] = RetryPolicy(max_attempts=args.retries + 1)
+    if getattr(args, "node_timeout", None) is not None:
+        kwargs["node_timeout"] = args.node_timeout
+    if partial or getattr(args, "partial", False):
+        kwargs["on_error"] = "partial"
+    return kwargs
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     algos = tuple(a.strip() for a in args.algos.split(",") if a.strip())
     if not algos:
@@ -296,7 +337,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
             seed=args.seed,
             delta=args.delta,
             evaluate=True,
-        )
+        ),
+        **_fault_kwargs(args),
     )
 
     if args.json:
@@ -309,6 +351,11 @@ def _cmd_map(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "results": [
                 {
+                    "algorithm": r.algorithm,
+                    "error": r.error.as_dict(),
+                }
+                if not r.ok
+                else {
                     "algorithm": r.algorithm,
                     "metrics": {
                         k: float(v) for k, v in r.metrics.as_dict().items()
@@ -342,6 +389,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
     )
     print("-" * 72)
     for r in responses:
+        if not r.ok:
+            print(f"{r.algorithm:>8s} error: {r.error}")
+            continue
         m = r.metrics
         shared = "hit" if r.grouping_cached else "computed"
         spec = get_spec(r.algorithm)
@@ -444,10 +494,23 @@ def _manifest_requests(args: argparse.Namespace) -> List[MapRequest]:
 
 
 def _response_payload(r) -> dict:
-    """One response as the JSON object both batch modes emit."""
+    """One response as the JSON object both batch modes emit.
+
+    A failed response (``on_error="partial"``) keeps the ``tag`` /
+    ``algorithm`` identity fields and carries the structured error in
+    place of the mapping payload.
+    """
+    if not r.ok:
+        return {
+            "tag": r.tag,
+            "algorithm": r.algorithm,
+            "ok": False,
+            "error": r.error.as_dict(),
+        }
     return {
         "tag": r.tag,
         "algorithm": r.algorithm,
+        "ok": True,
         "metrics": (
             {k: float(v) for k, v in r.metrics.as_dict().items()}
             if r.metrics is not None
@@ -465,13 +528,15 @@ def _cmd_map_batch(args: argparse.Namespace) -> int:
     requests = _manifest_requests(args)
     service = _build_service(args)
     t0 = time.perf_counter()
-    responses = service.map_batch(requests)
+    responses = service.map_batch(requests, **_fault_kwargs(args))
     elapsed = time.perf_counter() - t0
+    errors = sum(1 for r in responses if not r.ok)
     summary = {
         "backend": args.backend,
         "workers": args.workers,
         "requests": len(requests),
         "responses": len(responses),
+        "errors": errors,
         "elapsed_s": elapsed,
         "requests_per_s": len(requests) / elapsed if elapsed > 0 else 0.0,
     }
@@ -499,6 +564,9 @@ def _cmd_map_batch(args: argparse.Namespace) -> int:
     print(f"\n{'tag':>6s} {'mapper':>8s} {'WH':>11s} {'MC':>9s} {'map(ms)':>8s}")
     print("-" * 48)
     for r in responses:
+        if not r.ok:
+            print(f"{str(r.tag):>6s} {r.algorithm:>8s} error: {r.error}")
+            continue
         m = r.metrics
         print(
             f"{str(r.tag):>6s} {r.algorithm:>8s} {m.wh:11.0f} {m.mc:9.2f} "
@@ -518,7 +586,15 @@ def _cmd_follow(args: argparse.Namespace) -> int:
     served batch prints one JSON line; malformed lines report an error
     line and the server keeps going.  Workloads, the artifact cache and
     the ExecutorPool persist across batches — that is the point.
+
+    Fault behaviour: batches always run ``on_error="partial"`` (a
+    long-running server must not die on one poisoned request — the
+    failed entry becomes a structured ``error`` result), and SIGINT /
+    SIGTERM *drain*: the in-flight batch finishes and emits its result
+    line, then the server shuts down cleanly.
     """
+    import signal
+
     from repro.api.pool import POOL_BACKENDS, ExecutorPool
 
     pool = None
@@ -547,8 +623,28 @@ def _cmd_follow(args: argparse.Namespace) -> int:
     # changing matrices must not accumulate task graphs without limit.
     workloads: "OrderedDict" = OrderedDict()
     defaults: dict = {}
-    batches = served = 0
+    batches = served = failed = 0
     store_counts = {}
+    fault_kwargs = _fault_kwargs(args, partial=True)
+
+    # Graceful drain: a signal arriving mid-batch merely sets the flag —
+    # the batch finishes and its result line is emitted before the loop
+    # breaks.  A signal while idle (blocked reading the stream) exits
+    # immediately via KeyboardInterrupt; there is nothing to drain.
+    state = {"in_batch": False, "stop": None}
+
+    def _request_stop(signum, frame):
+        state["stop"] = signum
+        if not state["in_batch"]:
+            raise KeyboardInterrupt
+
+    previous_handlers = {}
+    try:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[sig] = signal.signal(sig, _request_stop)
+    except ValueError:
+        previous_handlers = {}  # not the main thread (in-process tests)
+
     t_start = time.perf_counter()
     try:
         for lineno, line in enumerate(stream, start=1):
@@ -562,9 +658,13 @@ def _cmd_follow(args: argparse.Namespace) -> int:
                     continue
                 entries = payload if isinstance(payload, list) else [payload]
                 requests = _requests_from_entries(entries, defaults, workloads)
-                t0 = time.perf_counter()
-                responses = service.map_batch(requests)
-                elapsed = time.perf_counter() - t0
+                state["in_batch"] = True
+                try:
+                    t0 = time.perf_counter()
+                    responses = service.map_batch(requests, **fault_kwargs)
+                    elapsed = time.perf_counter() - t0
+                finally:
+                    state["in_batch"] = False
             except (ValueError, KeyError, TypeError) as exc:
                 print(
                     json.dumps({"line": lineno, "error": str(exc)}), flush=True
@@ -572,6 +672,8 @@ def _cmd_follow(args: argparse.Namespace) -> int:
                 continue
             batches += 1
             served += len(requests)
+            errors = sum(1 for r in responses if not r.ok)
+            failed += errors
             while len(workloads) > _FOLLOW_WORKLOAD_LIMIT:
                 workloads.popitem(last=False)
             print(
@@ -580,13 +682,20 @@ def _cmd_follow(args: argparse.Namespace) -> int:
                         "batch": batches,
                         "line": lineno,
                         "requests": len(requests),
+                        "errors": errors,
                         "elapsed_s": elapsed,
                         "results": [_response_payload(r) for r in responses],
                     }
                 ),
                 flush=True,
             )
+            if state["stop"] is not None:
+                break
+    except KeyboardInterrupt:
+        pass  # idle-time signal: nothing in flight, exit the serve loop
     finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
         if stream is not sys.stdin:
             stream.close()
         if pool is not None:
@@ -602,10 +711,18 @@ def _cmd_follow(args: argparse.Namespace) -> int:
                 }
             pool.shutdown()
     total = time.perf_counter() - t_start
+    if state["stop"] is not None:
+        try:
+            signame = signal.Signals(state["stop"]).name
+        except ValueError:
+            signame = str(state["stop"])
+        print(f"received {signame}; drained in-flight work", file=sys.stderr)
     print(
-        f"served {batches} batches / {served} requests in {total:.3f} s "
+        f"served {batches} batches / {served} requests "
+        f"({failed} failed) in {total:.3f} s "
         f"(backend={args.backend}, workers={args.workers or 'auto'}, "
-        f"pool spawns={pool.spawn_count if pool is not None else 0})",
+        f"pool spawns={pool.spawn_count if pool is not None else 0}, "
+        f"pool restarts={pool.restarts if pool is not None else 0})",
         file=sys.stderr,
     )
     if args.stats:

@@ -43,16 +43,21 @@ serial (pinned by ``tests/test_engine.py``).
 
 from __future__ import annotations
 
+import heapq
 import os
 import tempfile
+import time
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.api.fault import NO_RETRY, PlanError, RetryPolicy, maybe_inject
 from repro.api.plan import Plan, PlanNode
 from repro.api.request import MapRequest, MapResponse
 
@@ -87,6 +92,9 @@ def execute_plan(
     workers: Optional[int] = None,
     store_dir: Optional[str] = None,
     pool=None,
+    retry: Optional[RetryPolicy] = None,
+    node_timeout: Optional[float] = None,
+    on_error: str = "raise",
 ) -> List[MapResponse]:
     """Run *plan* on *backend*; responses return in request order.
 
@@ -113,25 +121,73 @@ def execute_plan(
         plan runs on the pool's long-lived workers (the pool's backend
         wins; *workers*/*store_dir* are the pool's concern) instead of a
         batch-scoped executor.
+    retry:
+        Optional :class:`~repro.api.fault.RetryPolicy` — bounded retries
+        with exponential backoff for nodes that raise.  ``None`` keeps
+        the healthy path untouched (no retries; worker-crash quarantine
+        still applies on pooled process runs).  Retries only run on
+        failure, so results on healthy machines are byte-identical with
+        or without a policy.
+    node_timeout:
+        Per-node deadline in seconds for the thread/process backends.  A
+        node past its deadline is cancelled (or abandoned when already
+        running — pools cannot interrupt a running callable) and fails
+        with a ``timeout`` outcome.  Ignored by ``serial``, which cannot
+        preempt the calling thread.
+    on_error:
+        ``"raise"`` (default) aborts the batch on the first permanent
+        node failure, exactly like the pre-fault-tolerance engine.
+        ``"partial"`` converts failures into structured
+        :class:`~repro.api.fault.PlanError` outcomes: affected responses
+        come back with :attr:`MapResponse.error` set, every other
+        request still succeeds.
     """
+    if on_error not in ("raise", "partial"):
+        raise ValueError("on_error must be 'raise' or 'partial'")
+    fault_kw = {
+        "retry": retry,
+        "node_timeout": node_timeout,
+        "partial": on_error == "partial",
+    }
     if pool is not None:
-        return _collect(plan, _run_pooled(plan, service, pool))
+        return _collect(plan, _run_pooled(plan, service, pool, fault_kw))
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     if backend == "serial":
-        outcomes = _run_serial(plan, service)
+        outcomes = _run_serial(plan, service, retry, on_error == "partial")
     elif backend == "thread":
-        outcomes = _run_threaded(plan, service, workers)
+        outcomes = _run_threaded(plan, service, workers, fault_kw)
     else:
-        outcomes = _run_process(plan, service, workers, store_dir)
+        outcomes = _run_process(plan, service, workers, store_dir, fault_kw)
     return _collect(plan, outcomes)
 
 
 def run_plan_node(service, request: MapRequest, kind: str, algorithm: Optional[str]):
     """Execute one node against *service* (shared by every backend)."""
+    maybe_inject(request, kind)
     if kind == "grouping":
         return service.warm_grouping(request)
     return service._run_one(request, algorithm)
+
+
+class _NodeFailure:
+    """Failure outcome slot — carries the structured error (and, in
+    ``on_error="raise"`` mode, the original exception to re-raise)."""
+
+    __slots__ = ("error", "exception")
+
+    def __init__(self, error: PlanError, exception: Optional[BaseException] = None):
+        self.error = error
+        self.exception = exception
+
+
+def _node_label(plan: Plan, index: int) -> str:
+    node = plan.nodes[index]
+    return f"algo:{node.algorithm}" if node.kind == "algo" else node.kind
+
+
+def _node_tag(plan: Plan, index: int):
+    return plan.requests[plan.nodes[index].request_index].tag
 
 
 # ---------------------------------------------------------------------------
@@ -139,17 +195,82 @@ def run_plan_node(service, request: MapRequest, kind: str, algorithm: Optional[s
 # ---------------------------------------------------------------------------
 
 
-def _run_serial(plan: Plan, service) -> List:
-    """Plan order is the legacy loop's order — the reference backend."""
-    return [
-        run_plan_node(
+def _run_serial(
+    plan: Plan,
+    service,
+    retry: Optional[RetryPolicy] = None,
+    partial: bool = False,
+) -> List:
+    """Plan order is the legacy loop's order — the reference backend.
+
+    ``node_timeout`` is not enforced here: the serial backend runs in the
+    caller's thread and cannot preempt itself.
+    """
+    policy = retry or NO_RETRY
+    outcomes: List = [None] * len(plan.nodes)
+    for node in plan.nodes:
+        failed_dep = next(
+            (d for d in node.deps if isinstance(outcomes[d], _NodeFailure)), None
+        )
+        if failed_dep is not None:
+            outcomes[node.index] = _NodeFailure(
+                PlanError(
+                    kind="upstream",
+                    message=(
+                        f"dependency {_node_label(plan, failed_dep)} failed: "
+                        f"{outcomes[failed_dep].error.message}"
+                    ),
+                    node=_node_label(plan, node.index),
+                    tag=_node_tag(plan, node.index),
+                )
+            )
+            continue
+        attempts = 0
+        while True:
+            try:
+                outcomes[node.index] = run_plan_node(
+                    service,
+                    plan.requests[node.request_index],
+                    node.kind,
+                    node.algorithm,
+                )
+                break
+            except Exception as exc:
+                attempts += 1
+                if attempts < policy.max_attempts:
+                    time.sleep(policy.delay(attempts))
+                    continue
+                if not partial:
+                    raise
+                outcomes[node.index] = _NodeFailure(
+                    PlanError(
+                        kind="error",
+                        message=str(exc) or type(exc).__name__,
+                        exception=type(exc).__name__,
+                        attempts=attempts,
+                        node=_node_label(plan, node.index),
+                        tag=_node_tag(plan, node.index),
+                    ),
+                    exc,
+                )
+                break
+    return outcomes
+
+
+def _serial_fallback(plan: Plan, service) -> Callable[[PlanNode], object]:
+    """In-process fallback runner used when an executor cannot be trusted."""
+
+    def run(node: PlanNode):
+        return run_plan_node(
             service, plan.requests[node.request_index], node.kind, node.algorithm
         )
-        for node in plan.nodes
-    ]
+
+    return run
 
 
-def _run_threaded(plan: Plan, service, workers: Optional[int]) -> List:
+def _run_threaded(
+    plan: Plan, service, workers: Optional[int], fault_kw: dict
+) -> List:
     service.cache.enable_concurrency()
     with ThreadPoolExecutor(max_workers=workers or default_workers()) as pool:
 
@@ -162,11 +283,17 @@ def _run_threaded(plan: Plan, service, workers: Optional[int]) -> List:
                 node.algorithm,
             )
 
-        return _drive(plan, submit)
+        return _drive(
+            plan, submit, serial_run=_serial_fallback(plan, service), **fault_kw
+        )
 
 
 def _run_process(
-    plan: Plan, service, workers: Optional[int], store_dir: Optional[str]
+    plan: Plan,
+    service,
+    workers: Optional[int],
+    store_dir: Optional[str],
+    fault_kw: dict,
 ) -> List:
     from repro.api.store import DEFAULT_PERSIST_NAMESPACES
 
@@ -199,27 +326,37 @@ def _run_process(
                     node.algorithm,
                 )
 
-            return _drive(plan, submit)
+            # A batch-scoped process pool cannot be respawned mid-batch;
+            # when it breaks, lost/remaining nodes fall back to the
+            # caller's in-process service.
+            return _drive(
+                plan, submit, serial_run=_serial_fallback(plan, service), **fault_kw
+            )
     finally:
         if tmp is not None:
             tmp.cleanup()
 
 
-def _run_pooled(plan: Plan, service, pool) -> List:
+def _run_pooled(plan: Plan, service, pool, fault_kw: dict) -> List:
     """Run the DAG on an :class:`~repro.api.pool.ExecutorPool`'s workers.
 
     The thread flavour drives the caller's service exactly like the
     batch-scoped thread backend (one in-memory cache, concurrency
     enabled); the process flavour publishes the request list to the
     pool's store, lets the long-lived workers pull and cache it, and
-    retires the payload when the batch completes.
+    retires the payload when the batch completes.  Submission always
+    goes through :meth:`ExecutorPool.submit` so a pool respawned after a
+    worker crash is picked up mid-batch: the scheduler hands
+    ``respawn=pool.respawn`` to :func:`_drive`, which re-runs only the
+    nodes that were in flight when the executor broke.
     """
+    serial_run = _serial_fallback(plan, service)
     if pool.backend == "thread":
         service.cache.enable_concurrency()
-        with pool.session() as executor:
+        with pool.session():
 
             def submit(node: PlanNode):
-                return executor.submit(
+                return pool.submit(
                     run_plan_node,
                     service,
                     plan.requests[node.request_index],
@@ -227,16 +364,22 @@ def _run_pooled(plan: Plan, service, pool) -> List:
                     node.algorithm,
                 )
 
-            return _drive(plan, submit)
+            return _drive(
+                plan,
+                submit,
+                respawn=pool.respawn,
+                serial_run=serial_run,
+                **fault_kw,
+            )
 
     from repro.api.pool import _persistent_run_node
 
     batch_key = pool.publish_batch(plan.requests)
     try:
-        with pool.session() as executor:
+        with pool.session():
 
             def submit(node: PlanNode):
-                return executor.submit(
+                return pool.submit(
                     _persistent_run_node,
                     batch_key,
                     node.request_index,
@@ -244,41 +387,360 @@ def _run_pooled(plan: Plan, service, pool) -> List:
                     node.algorithm,
                 )
 
-            return _drive(plan, submit)
+            return _drive(
+                plan,
+                submit,
+                respawn=pool.respawn,
+                serial_run=serial_run,
+                **fault_kw,
+            )
     finally:
         pool.release_batch(batch_key)
 
 
-def _drive(plan: Plan, submit: Callable[[PlanNode], "object"]) -> List:
+def _drive(
+    plan: Plan,
+    submit: Callable[[PlanNode], "object"],
+    *,
+    retry: Optional[RetryPolicy] = None,
+    node_timeout: Optional[float] = None,
+    partial: bool = False,
+    respawn: Optional[Callable[[], None]] = None,
+    serial_run: Optional[Callable[[PlanNode], object]] = None,
+) -> List:
     """Generic DAG scheduler: submit ready nodes, release dependents.
 
-    Shared by the thread and process backends; *submit* returns a
-    future.  On a node failure the not-yet-started siblings are
-    cancelled before the exception propagates (already-running nodes
-    finish — pools cannot interrupt them — but no new work starts).
+    Shared by the thread/process backends and the pooled runner;
+    *submit* returns a future.  On top of the dependency bookkeeping it
+    owns the engine's fault handling:
+
+    - A node that raises is retried per *retry* (exponential backoff via
+      a ready-time heap — the scheduler keeps draining other futures
+      while a retry waits out its backoff).  A node out of attempts
+      becomes a permanent failure.
+    - A node past *node_timeout* is cancelled (abandoned when already
+      running — executors cannot interrupt a running callable) and fails
+      permanently with a ``timeout`` outcome.
+    - ``BrokenExecutor`` means the worker pool died.  Every node in
+      flight at break time is a crash suspect; finished-but-uncollected
+      results are salvaged, the pool is respawned via *respawn* (when
+      given), and suspects are re-run **in isolation** — one at a time
+      with nothing else in flight, so a repeat kill is attributable to
+      exactly one node and an innocent that merely shared the pool with
+      a poison request can never reach the quarantine threshold.  A node
+      whose isolated re-runs break the pool ``retry.max_crashes`` times
+      total is quarantined: re-run in-process via *serial_run* when
+      ``retry.poison == "serial"``, failed cleanly otherwise.  Never
+      blindly re-submitted.
+    - With ``partial=False`` a permanent failure cancels the pending
+      siblings and re-raises, exactly like the pre-fault-tolerance
+      engine; with ``partial=True`` it becomes a :class:`_NodeFailure`
+      outcome and cascades ``upstream`` failures to its dependents while
+      every unrelated node keeps running.
+
+    The healthy path through this function is the old one: no retries
+    fire, no deadline is armed unless requested, and ``wait`` blocks
+    exactly as before — results stay byte-identical.
     """
+    policy = retry or NO_RETRY
     outcomes: List = [None] * len(plan.nodes)
     indegree = [len(node.deps) for node in plan.nodes]
     dependents = plan.dependents()
-    pending = {}
+    pending: dict = {}  # future -> node index
+    deadlines: dict = {}  # future -> monotonic deadline
+    ready_heap: List[Tuple[float, int]] = []  # (monotonic ready time, node)
+    failures = [0] * len(plan.nodes)
+    crashes = [0] * len(plan.nodes)
+    broken = False  # executor is dead and could not be respawned
+
+    def _abort(exc: BaseException):
+        for future in pending:
+            future.cancel()
+        raise exc
+
+    def _final(index: int, error: PlanError, exc: Optional[BaseException] = None):
+        if not partial:
+            _abort(exc if exc is not None else RuntimeError(str(error)))
+        outcomes[index] = _NodeFailure(error, exc)
+        stack = [index]
+        while stack:
+            for dep_index in dependents[stack.pop()]:
+                if outcomes[dep_index] is None:
+                    outcomes[dep_index] = _NodeFailure(
+                        PlanError(
+                            kind="upstream",
+                            message=(
+                                f"dependency {_node_label(plan, index)} failed: "
+                                f"{error.message}"
+                            ),
+                            node=_node_label(plan, dep_index),
+                            tag=_node_tag(plan, dep_index),
+                        )
+                    )
+                    stack.append(dep_index)
+
+    def _record_exception(index: int, exc: BaseException):
+        failures[index] += 1
+        if failures[index] < policy.max_attempts:
+            heapq.heappush(
+                ready_heap, (time.monotonic() + policy.delay(failures[index]), index)
+            )
+            return
+        _final(
+            index,
+            PlanError(
+                kind="error",
+                message=str(exc) or type(exc).__name__,
+                exception=type(exc).__name__,
+                attempts=failures[index],
+                node=_node_label(plan, index),
+                tag=_node_tag(plan, index),
+            ),
+            exc,
+        )
+
+    def _complete(index: int, result) -> None:
+        outcomes[index] = result
+        for dep_index in dependents[index]:
+            indegree[dep_index] -= 1
+            if indegree[dep_index] == 0 and outcomes[dep_index] is None:
+                _submit(dep_index)
+
+    def _run_inline(index: int) -> None:
+        if serial_run is None:
+            _final(
+                index,
+                PlanError(
+                    kind="crash",
+                    message="executor broke and no in-process fallback is available",
+                    attempts=max(crashes[index], 1),
+                    node=_node_label(plan, index),
+                    tag=_node_tag(plan, index),
+                ),
+                BrokenExecutor("executor broke; no in-process fallback"),
+            )
+            return
+        try:
+            result = serial_run(plan.nodes[index])
+        except Exception as exc:
+            _record_exception(index, exc)
+        else:
+            _complete(index, result)
+
+    def _submit(index: int) -> None:
+        nonlocal broken
+        if broken:
+            _run_inline(index)
+            return
+        node = plan.nodes[index]
+        try:
+            future = submit(node)
+        except BrokenExecutor:
+            if respawn is not None:
+                respawn()
+                try:
+                    future = submit(node)
+                except BrokenExecutor:
+                    broken = True
+                    _run_inline(index)
+                    return
+            else:
+                broken = True
+                _run_inline(index)
+                return
+        pending[future] = index
+        if node_timeout is not None:
+            deadlines[future] = time.monotonic() + node_timeout
+
+    def _respawn_or_break() -> None:
+        nonlocal broken
+        if respawn is not None:
+            try:
+                respawn()
+            except Exception:
+                broken = True
+        else:
+            broken = True
+
+    def _quarantine(index: int, exc: BaseException, recovered: list) -> None:
+        if policy.poison == "serial" and serial_run is not None:
+            try:
+                recovered.append((index, serial_run(plan.nodes[index])))
+            except Exception as run_exc:
+                _record_exception(index, run_exc)
+            return
+        _final(
+            index,
+            PlanError(
+                kind="crash",
+                message=(
+                    f"worker pool broke {crashes[index]} times with "
+                    "this node in flight; quarantined"
+                ),
+                exception=type(exc).__name__,
+                attempts=crashes[index],
+                node=_node_label(plan, index),
+                tag=_node_tag(plan, index),
+            ),
+            exc,
+        )
+
+    def _on_break(first_index: int, exc: BaseException) -> None:
+        nonlocal broken
+        # Everything in flight when the pool died is a crash suspect —
+        # attribution is conservative because the dead worker cannot
+        # tell us which node it was running.  Futures that finished
+        # before the break still hold real results; salvage them.
+        suspects = [first_index]
+        survivors = []
+        for future, index in list(pending.items()):
+            salvaged = False
+            if future.done() and not future.cancelled():
+                try:
+                    survivors.append((index, future.result()))
+                    salvaged = True
+                except BaseException:
+                    pass
+            if not salvaged:
+                future.cancel()
+                suspects.append(index)
+        pending.clear()
+        deadlines.clear()
+        _respawn_or_break()
+        # Re-run suspects one at a time with nothing else in flight, so
+        # a repeat kill indicts exactly one node.  Successes are held
+        # back and completed only after the whole suspect list is
+        # processed — completing releases dependents into the pool,
+        # which would put bystanders in flight during the next isolated
+        # attempt.
+        recovered: list = []
+        for index in suspects:
+            crashes[index] += 1
+            while not broken and crashes[index] < policy.max_crashes:
+                try:
+                    future = submit(plan.nodes[index])
+                except BrokenExecutor:
+                    broken = True
+                    continue  # loop condition now fails -> fallback below
+                done, _ = wait([future], timeout=node_timeout)
+                if future not in done:
+                    future.cancel()
+                    _final(
+                        index,
+                        PlanError(
+                            kind="timeout",
+                            message=(
+                                f"node exceeded its {node_timeout:g}s deadline"
+                            ),
+                            attempts=failures[index] + 1,
+                            node=_node_label(plan, index),
+                            tag=_node_tag(plan, index),
+                        ),
+                        TimeoutError(
+                            f"{_node_label(plan, index)} exceeded its "
+                            f"{node_timeout:g}s deadline"
+                        ),
+                    )
+                    break
+                try:
+                    recovered.append((index, future.result()))
+                except BrokenExecutor:
+                    crashes[index] += 1
+                    _respawn_or_break()
+                    continue
+                except Exception as run_exc:
+                    _record_exception(index, run_exc)
+                break
+            else:
+                # Out of the loop without an attempt: the pool is gone
+                # (fall back in-process) or the node hit the crash
+                # threshold (quarantine).
+                if broken and crashes[index] < policy.max_crashes:
+                    _run_inline(index)
+                else:
+                    _quarantine(index, exc, recovered)
+        for index, result in survivors + recovered:
+            _complete(index, result)
 
     for node in plan.nodes:
         if indegree[node.index] == 0:
-            pending[submit(node)] = node.index
-    while pending:
-        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            _submit(node.index)
+
+    while pending or ready_heap:
+        now = time.monotonic()
+        while ready_heap and ready_heap[0][0] <= now:
+            _, index = heapq.heappop(ready_heap)
+            _submit(index)
+        if not pending:
+            if ready_heap:
+                time.sleep(max(0.0, ready_heap[0][0] - time.monotonic()))
+            continue
+        timeout = None
+        if deadlines:
+            timeout = min(deadlines.values()) - now
+        if ready_heap:
+            until_retry = ready_heap[0][0] - now
+            timeout = until_retry if timeout is None else min(timeout, until_retry)
+        if timeout is not None:
+            timeout = max(timeout, 0.0)
+        done, _ = wait(list(pending), timeout=timeout, return_when=FIRST_COMPLETED)
         for future in done:
+            if future not in pending:
+                continue  # drained by an earlier break in this very set
             index = pending.pop(future)
+            deadlines.pop(future, None)
             try:
-                outcomes[index] = future.result()  # re-raises node failures
-            except BaseException:
-                for sibling in pending:
-                    sibling.cancel()
-                raise
-            for dep_index in dependents[index]:
-                indegree[dep_index] -= 1
-                if indegree[dep_index] == 0:
-                    pending[submit(plan.nodes[dep_index])] = dep_index
+                result = future.result()
+            except BrokenExecutor as exc:
+                _on_break(index, exc)
+                break
+            except CancelledError:
+                _final(
+                    index,
+                    PlanError(
+                        kind="cancelled",
+                        message="node was cancelled before it ran",
+                        node=_node_label(plan, index),
+                        tag=_node_tag(plan, index),
+                    ),
+                )
+            except Exception as exc:
+                _record_exception(index, exc)
+            else:
+                _complete(index, result)
+        if deadlines:
+            now = time.monotonic()
+            for future in [f for f, d in deadlines.items() if d <= now]:
+                index = pending.pop(future, None)
+                deadlines.pop(future, None)
+                if index is None:
+                    continue
+                future.cancel()
+                _final(
+                    index,
+                    PlanError(
+                        kind="timeout",
+                        message=f"node exceeded its {node_timeout:g}s deadline",
+                        attempts=failures[index] + 1,
+                        node=_node_label(plan, index),
+                        tag=_node_tag(plan, index),
+                    ),
+                    TimeoutError(
+                        f"{_node_label(plan, index)} exceeded its "
+                        f"{node_timeout:g}s deadline"
+                    ),
+                )
+
+    for index, outcome in enumerate(outcomes):
+        if outcome is None:  # defensive: a scheduler hole, not a node fault
+            outcomes[index] = _NodeFailure(
+                PlanError(
+                    kind="cancelled",
+                    message="node was never scheduled",
+                    node=_node_label(plan, index),
+                    tag=_node_tag(plan, index),
+                )
+            )
     return outcomes
 
 
@@ -324,15 +786,30 @@ def _collect(plan: Plan, outcomes: List) -> List[MapResponse]:
     """
     responses: List[Optional[MapResponse]] = [None] * plan.num_slots
     for node in plan.nodes:
-        if node.kind == "algo":
-            responses[node.slot] = outcomes[node.index]
+        if node.kind != "algo":
+            continue
+        outcome = outcomes[node.index]
+        if isinstance(outcome, _NodeFailure):
+            responses[node.slot] = MapResponse(
+                algorithm=node.algorithm or "",
+                result=None,
+                tag=plan.requests[node.request_index].tag,
+                error=outcome.error,
+            )
+        else:
+            responses[node.slot] = outcome
     for node in plan.nodes:
         if node.kind != "grouping" or node.charges is None:
             continue
-        elapsed, computed = outcomes[node.index]
+        outcome = outcomes[node.index]
+        if isinstance(outcome, _NodeFailure):
+            continue  # failed groupings have no elapsed time to bill
+        elapsed, computed = outcome
         if not computed:
             continue
         charged = outcomes[node.charges]
+        if isinstance(charged, _NodeFailure):
+            continue  # the consumer failed; nothing to charge the prep to
         if not charged.grouping_cached:
             # The consumer did not ride the node's artifact after all —
             # e.g. a bounded cache evicted it in between and the

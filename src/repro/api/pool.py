@@ -113,6 +113,9 @@ class ExecutorPool:
         #: Executor spawns over the pool's lifetime (lazy spawn + reap
         #: + reconfigure make this observable; tests pin it).
         self.spawn_count = 0
+        #: Crash-driven executor replacements (:meth:`respawn` calls).
+        #: Each one is also a spawn, so ``spawn_count`` includes them.
+        self.restarts = 0
 
         self._lock = threading.RLock()
         self._executor = None
@@ -134,9 +137,30 @@ class ExecutorPool:
 
     @property
     def executor_alive(self) -> bool:
-        """Whether workers are currently spawned (False after a reap)."""
+        """Whether workers are currently spawned (False after a reap).
+
+        Spawned is not the same as serviceable: a crashed process pool
+        still counts as alive here until it is respawned or reaped.
+        Check :attr:`healthy` for "can this pool execute work".
+        """
         with self._lock:
             return self._executor is not None
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the pool can execute work right now.
+
+        True when no executor is spawned yet (the next batch spawns one
+        lazily) or the spawned executor is unbroken.  A pool whose
+        workers died reports ``healthy == False`` until
+        :meth:`respawn` replaces the executor — which the fault-aware
+        scheduler does automatically mid-batch.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            executor = self._executor
+            return executor is None or not getattr(executor, "_broken", False)
 
     def worker_pids(self) -> List[int]:
         """PIDs of live process-pool workers (empty for thread pools)."""
@@ -239,6 +263,55 @@ class ExecutorPool:
                 self._active -= 1
                 self._last_used = time.monotonic()
                 self._schedule_reap()
+
+    def submit(self, fn, *args, **kwargs):
+        """Submit work through the pool's *current* executor.
+
+        The indirection matters mid-batch: after :meth:`respawn`
+        replaces a crashed executor, a scheduler that submits through
+        the pool (rather than a captured executor reference) picks up
+        the replacement automatically and only re-runs the nodes it
+        lost.
+        """
+        with self._lock:
+            executor = self._ensure_executor()
+        return executor.submit(fn, *args, **kwargs)
+
+    def respawn(self) -> None:
+        """Replace a crashed (or merely suspect) executor with a fresh one.
+
+        The artifact store — and with it every warm artifact and every
+        published batch payload — survives, so re-submitted nodes of an
+        in-flight batch find their inputs without the caller resending
+        anything.  Bumps :attr:`restarts` (and, via the spawn,
+        :attr:`spawn_count`).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ExecutorPool is shut down")
+            if self._executor is not None:
+                # wait=False: a broken pool's workers are already dead,
+                # and a wedged one must not block the recovery path.
+                self._executor.shutdown(wait=False)
+                self._executor = None
+            self.restarts += 1
+            self._ensure_executor()
+
+    def stats(self) -> dict:
+        """Lifecycle counters for monitoring/serving endpoints."""
+        with self._lock:
+            executor = self._executor
+            return {
+                "backend": self.backend,
+                "workers": self.workers,
+                "spawn_count": self.spawn_count,
+                "restarts": self.restarts,
+                "executor_alive": executor is not None,
+                "healthy": not self._closed
+                and (executor is None or not getattr(executor, "_broken", False)),
+                "active_batches": self._active,
+                "closed": self._closed,
+            }
 
     def publish_batch(self, requests: Sequence) -> str:
         """Write a batch's request list to the pool store; returns its key.

@@ -113,27 +113,46 @@ class MapResponse:
     paper's Figure-3 accounting.  ``stage_times`` breaks ``map_time``
     down per declared stage (``"placement:greedy"``, ``"refine:wh"``,
     …), which the monolithic pipeline could never report.
+
+    Under ``map_batch(..., on_error="partial")`` a failed run comes
+    back with ``result=None`` and a structured
+    :class:`~repro.api.fault.PlanError` on ``error`` instead of
+    aborting the batch; check :attr:`ok` before touching the mapping
+    accessors.
     """
 
     algorithm: str
-    result: MapperResult
+    result: Optional[MapperResult]
     stage_times: Dict[str, float] = field(default_factory=dict)
     metrics: Optional[MappingMetrics] = None
     grouping_cached: bool = False
     tag: Optional[Hashable] = None
+    error: Optional["PlanError"] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the run produced a mapping (no structured error)."""
+        return self.error is None
+
+    def _result(self) -> MapperResult:
+        if self.result is None:
+            raise RuntimeError(
+                f"response for {self.algorithm!r} carries no mapping: {self.error}"
+            )
+        return self.result
 
     @property
     def fine_gamma(self) -> np.ndarray:
-        return self.result.fine_gamma
+        return self._result().fine_gamma
 
     @property
     def coarse_gamma(self) -> np.ndarray:
-        return self.result.coarse_gamma
+        return self._result().coarse_gamma
 
     @property
     def map_time(self) -> float:
-        return self.result.map_time
+        return self._result().map_time
 
     @property
     def prep_time(self) -> float:
-        return self.result.prep_time
+        return self._result().prep_time

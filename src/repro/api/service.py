@@ -134,6 +134,9 @@ class MappingService:
         workers: Optional[int] = None,
         store_dir: Optional[str] = None,
         pool=None,
+        retry=None,
+        node_timeout: Optional[float] = None,
+        on_error: str = "raise",
     ) -> List[MapResponse]:
         """Run one or many requests, all algorithms, sharing the cache.
 
@@ -158,6 +161,16 @@ class MappingService:
         overrides reconfigure the pool, ``store_dir`` is ignored (the
         pool owns its store), and ``backend="serial"`` falls back to
         the in-line reference path.
+
+        Fault tolerance is opt-in and passed straight to the engine:
+        *retry* (a :class:`~repro.api.fault.RetryPolicy`) retries nodes
+        that raise with exponential backoff, *node_timeout* bounds each
+        node's wall time on the parallel backends, and
+        ``on_error="partial"`` turns permanent failures into structured
+        :attr:`MapResponse.error` outcomes instead of aborting the
+        batch — the unaffected requests still return real mappings.
+        The defaults reproduce the pre-fault-tolerance behaviour (and
+        byte-identical results) exactly.
         """
         from repro.api.executor import execute_plan
 
@@ -167,18 +180,20 @@ class MappingService:
         # construction, so an explicit constructor backend= (e.g. the
         # serial reference path next to an attached pool) stays honored.
         resolved = backend if backend is not None else self.backend
+        fault_kw = {"retry": retry, "node_timeout": node_timeout, "on_error": on_error}
         if pool is not None and resolved != "serial":
             pool.configure(
                 backend=resolved,
                 workers=workers if workers is not None else self.workers,
             )
-            return execute_plan(plan, self, pool=pool)
+            return execute_plan(plan, self, pool=pool, **fault_kw)
         return execute_plan(
             plan,
             self,
             backend=resolved,
             workers=workers if workers is not None else self.workers,
             store_dir=store_dir,
+            **fault_kw,
         )
 
     def grouping(

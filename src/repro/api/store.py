@@ -46,6 +46,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from typing import Any, Dict, Hashable, List, Optional
 
 import numpy as np
@@ -86,6 +87,40 @@ class DiskArtifactStore:
         self.root = os.path.abspath(root)
         self.namespaces = frozenset(namespaces)
         os.makedirs(self.root, exist_ok=True)
+        self.sweep_orphans()
+
+    def sweep_orphans(self, *, min_age_s: float = 300.0) -> int:
+        """Remove orphaned ``*.tmp`` files a crashed writer left behind.
+
+        Runs on every store open: a worker killed mid-:meth:`save` (the
+        window between ``mkstemp`` and ``os.replace``) leaks its private
+        temp file, which nothing would ever reclaim.  Completed
+        artifacts are untouched — the atomic rename means a ``.tmp``
+        file is, by construction, never a live artifact.  Only files
+        older than *min_age_s* are swept so a store being opened next
+        to a *live* writer (two pool workers starting up) cannot yank a
+        temp file mid-write.  Returns the number of files removed.
+        """
+        removed = 0
+        cutoff = time.time() - min_age_s
+        for directory in [self.root] + [
+            os.path.join(self.root, ns) for ns in self._namespace_dirs()
+        ]:
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(directory, name)
+                try:
+                    if os.path.getmtime(path) <= cutoff:
+                        os.unlink(path)
+                        removed += 1
+                except OSError:
+                    pass  # a concurrent opener already swept it
+        return removed
 
     # ------------------------------------------------------------------
     # paths

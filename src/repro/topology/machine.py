@@ -57,6 +57,11 @@ class Machine:
             raise ValueError("allocated node id outside the torus")
         if np.unique(nodes).shape[0] != nodes.shape[0]:
             raise ValueError("allocation contains duplicate nodes")
+        if torus.has_faults and not torus.node_alive()[nodes].all():
+            raise ValueError(
+                "allocation contains dead nodes; use Machine.degrade() to "
+                "drop failed nodes from an existing allocation"
+            )
         self.alloc_nodes = nodes
         caps = np.asarray(procs_per_node, dtype=np.int64)
         if caps.ndim == 0:
@@ -115,6 +120,33 @@ class Machine:
     def uniform_capacity(self) -> bool:
         """True if every allocated node offers the same processor count."""
         return bool(np.all(self.capacities == self.capacities[0]))
+
+    # ------------------------------------------------------------------
+    # degraded machines
+    # ------------------------------------------------------------------
+    @property
+    def has_faults(self) -> bool:
+        """True when the underlying torus carries a failure mask."""
+        return self.torus.has_faults
+
+    def degrade(self, *, dead_links=(), dead_nodes=()) -> "Machine":
+        """This machine with additional failures masked in.
+
+        Dead nodes are dropped from the allocation (the job lost those
+        processors); routes and mapping BFS on the returned machine
+        detour around every masked link and node.  The original machine
+        is untouched — degraded and healthy machines fingerprint to
+        different content keys, so cached artifacts never cross over.
+        """
+        torus = self.torus.with_failures(
+            dead_links=dead_links, dead_nodes=dead_nodes
+        )
+        keep = torus.node_alive()[self.alloc_nodes]
+        if not keep.any():
+            raise ValueError("failure mask removes every allocated node")
+        return Machine(
+            torus, self.alloc_nodes[keep], self.capacities[keep]
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -16,6 +16,21 @@ subsystem (:class:`repro.kernels.congestion.CongestionModel`), the
 mapping metrics and the flow simulator all share: routes are enumerated
 once per (endpoints, torus) content key and then read (or delta-updated)
 in place instead of re-enumerated per consumer.
+
+Fault-avoiding rerouting
+------------------------
+On a torus carrying a failure mask (``Torus3D.with_failures``), routes
+whose static dimension-ordered path would cross a dead link detour
+around it: the affected messages are re-routed over the *healthy*
+directed link graph by a deterministic BFS (FIFO frontier, links
+explored in ``x+ x- y+ y- z+ z-`` order), which yields a shortest
+healthy path with a pinned tie-break.  Unaffected messages keep their
+byte-identical dimension-ordered routes, and a healthy torus never
+enters the detour path at all — ``RouteTable.build`` and every
+congestion consumer pick the mask up for free because they route
+through this module.  Routing to or from a dead node raises
+:class:`DeadEndpointError`; a mask that disconnects a live pair raises
+:class:`UnroutableError`.
 """
 
 from __future__ import annotations
@@ -34,7 +49,17 @@ __all__ = [
     "RouteTable",
     "route_table_key",
     "shared_route_table",
+    "DeadEndpointError",
+    "UnroutableError",
 ]
+
+
+class DeadEndpointError(ValueError):
+    """A message endpoint is a dead node — no route can exist."""
+
+
+class UnroutableError(RuntimeError):
+    """The failure mask disconnects a live (src, dst) pair."""
 
 
 def _dim_plan(
@@ -68,8 +93,18 @@ def route(torus: Torus3D, u: int, v: int) -> List[int]:
 
 
 def route_lengths(torus: Torus3D, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
-    """Hop count of each route — identical to ``torus.hop_distance``."""
-    return torus.hop_distance(src, dst)
+    """Hop count of each route.
+
+    On a healthy torus this equals ``torus.hop_distance``; with a
+    failure mask, detoured routes may be longer than the geometric
+    distance, so the actual enumerated routes are measured.
+    """
+    if not torus.has_faults:
+        return torus.hop_distance(src, dst)
+    src = np.asarray(src, dtype=np.int64).reshape(-1)
+    dst = np.asarray(dst, dtype=np.int64).reshape(-1)
+    _, msg = routes_bulk(torus, src, dst)
+    return np.bincount(msg, minlength=src.shape[0])
 
 
 def routes_bulk(
@@ -99,6 +134,16 @@ def routes_bulk(
     m = src.shape[0]
     if m == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    if torus.has_faults:
+        return _routes_bulk_faulty(torus, src, dst)
+    return _routes_bulk_default(torus, src, dst)
+
+
+def _routes_bulk_default(
+    torus: Torus3D, src: np.ndarray, dst: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The vectorized dimension-ordered enumeration (fault-blind)."""
+    m = src.shape[0]
     coords = torus.coords()
     cu = coords[src]
     cv = coords[dst]
@@ -133,6 +178,126 @@ def routes_bulk(
     if not all_links:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
     return np.concatenate(all_links), np.concatenate(all_msgs)
+
+
+# ---------------------------------------------------------------------------
+# Fault-avoiding rerouting (degraded machines only).
+# ---------------------------------------------------------------------------
+
+
+def _routes_bulk_faulty(
+    torus: Torus3D, src: np.ndarray, dst: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dimension-ordered routes with BFS detours around dead links.
+
+    Messages whose default route stays on healthy links keep it
+    unchanged (bit-identical to the healthy enumeration); only the
+    affected messages are re-routed.  Output stays per-message
+    traversal-ordered, which is the only order contract
+    :meth:`RouteTable.from_bulk` and the congestion delta machinery
+    rely on (they stable-sort by message).
+    """
+    node_ok = torus.node_alive()
+    bad_src = ~node_ok[src]
+    bad_dst = ~node_ok[dst]
+    if bad_src.any() or bad_dst.any():
+        which = int(src[bad_src][0]) if bad_src.any() else int(dst[bad_dst][0])
+        raise DeadEndpointError(
+            f"message endpoint {which} is a dead node; allocate around the "
+            "failure mask (Machine.degrade drops dead nodes)"
+        )
+    links, msg = _routes_bulk_default(torus, src, dst)
+    alive = torus.link_alive()
+    dead_entries = ~alive[links] if links.size else np.zeros(0, dtype=bool)
+    if not dead_entries.any():
+        return links, msg
+    affected = np.unique(msg[dead_entries])
+    keep = ~np.isin(msg, affected)
+    out_links = [links[keep]]
+    out_msgs = [msg[keep]]
+
+    nbr, nbr_alive = _healthy_adjacency(torus)
+    by_source: dict = {}
+    for i in affected.tolist():
+        by_source.setdefault(int(src[i]), []).append(i)
+    for source, messages in sorted(by_source.items()):
+        parent_link = _bfs_parents(
+            torus, source, nbr, nbr_alive, {int(dst[i]) for i in messages}
+        )
+        for i in messages:
+            target = int(dst[i])
+            if parent_link[target] < 0:
+                raise UnroutableError(
+                    f"no healthy route from node {source} to node {target}: "
+                    "the failure mask disconnects them"
+                )
+            path: List[int] = []
+            node = target
+            while node != source:
+                lid = int(parent_link[node])
+                path.append(lid)
+                node = int(lid // 6)
+            path.reverse()
+            out_links.append(np.asarray(path, dtype=np.int64))
+            out_msgs.append(np.full(len(path), i, dtype=np.int64))
+    return np.concatenate(out_links), np.concatenate(out_msgs)
+
+
+def _healthy_adjacency(torus: Torus3D) -> Tuple[np.ndarray, np.ndarray]:
+    """``(neighbor, alive)`` int64/bool ``[num_nodes, 6]`` tables.
+
+    Column order is the deterministic exploration order of the detour
+    BFS: ``x+ x- y+ y- z+ z-`` (slot = dim * 2 + direction), matching
+    the directed link id layout.
+    """
+    n = torus.num_nodes
+    nodes = np.arange(n, dtype=np.int64)
+    nbr = np.empty((n, 6), dtype=np.int64)
+    for dim in range(3):
+        for direction, step in ((0, 1), (1, -1)):
+            nbr[:, dim * 2 + direction] = torus._neighbor(
+                nodes,
+                np.full(n, dim, dtype=np.int64),
+                np.full(n, step, dtype=np.int64),
+            )
+    alive = torus.link_alive().reshape(n, 6)
+    return nbr, alive
+
+
+def _bfs_parents(
+    torus: Torus3D,
+    source: int,
+    nbr: np.ndarray,
+    nbr_alive: np.ndarray,
+    targets: set,
+) -> np.ndarray:
+    """Parent directed-link ids of a BFS over the healthy link graph.
+
+    ``parent_link[v]`` is the link whose traversal first reached *v*
+    (-1 = unreached); walking parents back from a target yields a
+    shortest healthy path.  FIFO frontier + fixed slot order make the
+    tie-break deterministic.  Stops early once every target is reached.
+    """
+    parent_link = np.full(torus.num_nodes, -1, dtype=np.int64)
+    seen = np.zeros(torus.num_nodes, dtype=bool)
+    seen[source] = True
+    remaining = set(targets) - {source}
+    queue = [source]
+    head = 0
+    while head < len(queue) and remaining:
+        node = queue[head]
+        head += 1
+        for slot in range(6):
+            if not nbr_alive[node, slot]:
+                continue
+            nxt = int(nbr[node, slot])
+            if seen[nxt]:
+                continue
+            seen[nxt] = True
+            parent_link[nxt] = node * 6 + slot
+            remaining.discard(nxt)
+            queue.append(nxt)
+    return parent_link
 
 
 def link_loads(
@@ -325,12 +490,15 @@ def route_table_key(torus: Torus3D, src: np.ndarray, dst: np.ndarray) -> int:
     Static dimension-ordered routes depend only on the torus dimensions
     and the endpoint pairs, so the key fingerprints exactly those — two
     algorithms routing the same endpoints on the same torus share one
-    table regardless of which graph or mapping produced the pairs.
+    table regardless of which graph or mapping produced the pairs.  A
+    failure mask changes the routes, so a degraded torus additionally
+    fingerprints its dead links/nodes (healthy keys are unchanged).
     """
     from repro.util.fingerprint import fingerprint_arrays
 
     dims = np.asarray(torus.dims, dtype=np.int64)
-    return fingerprint_arrays(
-        dims, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
-    )
+    arrays = [dims, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)]
+    if torus.has_faults:
+        arrays.extend(torus.fault_arrays())
+    return fingerprint_arrays(*arrays)
 

@@ -16,6 +16,15 @@ cables Gemini actually wires between adjacent router pairs.
 Link bandwidths are per-dimension, defaulting to the Gemini-like values
 ``(9.38, 4.68, 9.38)`` GB/s — the paper reports Hopper's links span
 4.68–9.38 GB/s with different values per dimension.
+
+Degraded machines carry **failure masks**: :meth:`Torus3D.with_failures`
+derives a torus with dead links and/or dead nodes (a dead node takes all
+its incident links down with it).  Every consumer that holds the torus
+sees the degradation without code changes — :meth:`graph` omits dead
+links (so mapping BFS avoids dead regions), :meth:`link_bandwidths`
+zeroes them, and :func:`repro.topology.routing.routes_bulk` detours
+routes around them.  A healthy torus takes none of those code paths, so
+healthy-machine results stay byte-identical.
 """
 
 from __future__ import annotations
@@ -46,16 +55,25 @@ class Torus3D:
         ``(nx, ny, nz)`` router counts per dimension (each >= 1).
     bandwidths:
         Per-dimension link bandwidth in GB/s.
+    dead_links:
+        Directed link ids that have failed (both directions of a cable
+        fail independently; pass both ids to take the cable down).
+    dead_nodes:
+        Node ids that have failed; all links into and out of a dead
+        node are dead too.
     """
 
     __slots__ = (
         "dims",
         "bandwidths",
         "num_nodes",
+        "dead_links",
+        "dead_nodes",
         "_coords",
         "_graph",
         "_link_bw",
         "_link_valid",
+        "_link_alive",
         "_hop_table",
     )
 
@@ -63,6 +81,9 @@ class Torus3D:
         self,
         dims: Tuple[int, int, int],
         bandwidths: Tuple[float, float, float] = GEMINI_BANDWIDTHS,
+        *,
+        dead_links=(),
+        dead_nodes=(),
     ) -> None:
         dims = tuple(int(d) for d in dims)
         if len(dims) != 3 or any(d < 1 for d in dims):
@@ -72,11 +93,81 @@ class Torus3D:
         self.dims = dims
         self.bandwidths = tuple(float(b) for b in bandwidths)
         self.num_nodes = dims[0] * dims[1] * dims[2]
+        self.dead_links = np.unique(np.asarray(list(dead_links), dtype=np.int64))
+        self.dead_nodes = np.unique(np.asarray(list(dead_nodes), dtype=np.int64))
+        if self.dead_links.size and (
+            self.dead_links.min() < 0 or self.dead_links.max() >= self.num_nodes * 6
+        ):
+            raise ValueError("dead link id outside the torus link id space")
+        if self.dead_nodes.size and (
+            self.dead_nodes.min() < 0 or self.dead_nodes.max() >= self.num_nodes
+        ):
+            raise ValueError("dead node id outside the torus")
         self._coords: Optional[np.ndarray] = None
         self._graph: Optional[CSRGraph] = None
         self._link_bw: Optional[np.ndarray] = None
         self._link_valid: Optional[np.ndarray] = None
+        self._link_alive: Optional[np.ndarray] = None
         self._hop_table = None
+
+    # ------------------------------------------------------------------
+    # failure masks
+    # ------------------------------------------------------------------
+    @property
+    def has_faults(self) -> bool:
+        """True when any link or node failure is masked in."""
+        return bool(self.dead_links.size or self.dead_nodes.size)
+
+    def with_failures(self, *, dead_links=(), dead_nodes=()) -> "Torus3D":
+        """A torus with the given failures merged into the existing mask.
+
+        Returns a fresh instance (existing per-instance caches — graph,
+        hop tables, route tables — key on identity or content and stay
+        valid for the healthy original).
+        """
+        links = np.concatenate(
+            [self.dead_links, np.asarray(list(dead_links), dtype=np.int64)]
+        )
+        nodes = np.concatenate(
+            [self.dead_nodes, np.asarray(list(dead_nodes), dtype=np.int64)]
+        )
+        return Torus3D(
+            self.dims, self.bandwidths, dead_links=links, dead_nodes=nodes
+        )
+
+    def node_alive(self) -> np.ndarray:
+        """bool[num_nodes]: which nodes have not failed."""
+        alive = np.ones(self.num_nodes, dtype=bool)
+        alive[self.dead_nodes] = False
+        return alive
+
+    def link_alive(self) -> np.ndarray:
+        """bool[num_links]: valid links that have not failed (cached).
+
+        A link is dead when explicitly masked, or when either of its
+        endpoints is a dead node.  On a healthy torus this is exactly
+        :meth:`link_valid`.
+        """
+        if self._link_alive is None:
+            alive = self.link_valid().copy()
+            if self.dead_links.size:
+                alive[self.dead_links] = False
+            if self.dead_nodes.size:
+                lids = np.flatnonzero(alive)
+                src, dst = self.link_endpoints(lids)
+                node_ok = self.node_alive()
+                alive[lids[~(node_ok[src] & node_ok[dst])]] = False
+            self._link_alive = alive
+        return self._link_alive
+
+    def fault_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(dead_links, dead_nodes)`` — the content of the failure mask.
+
+        Content-key helpers (``machine_key``, ``route_table_key``)
+        fingerprint these so degraded and healthy machines never share
+        cached artifacts.
+        """
+        return self.dead_links, self.dead_nodes
 
     # ------------------------------------------------------------------
     # coordinates
@@ -187,12 +278,12 @@ class Torus3D:
         return self._link_valid
 
     def link_bandwidths(self) -> np.ndarray:
-        """float64[num_links] GB/s per directed link (0 for invalid slots)."""
+        """float64[num_links] GB/s per directed link (0 for invalid or dead)."""
         if self._link_bw is None:
             lids = np.arange(self.num_links, dtype=np.int64)
             dim = (lids % 6) // 2
             bw = np.asarray(self.bandwidths, dtype=np.float64)[dim]
-            bw[~self.link_valid()] = 0.0
+            bw[~self.link_alive()] = 0.0
             self._link_bw = bw
         return self._link_bw
 
@@ -204,27 +295,35 @@ class Torus3D:
 
         Edge weights are link bandwidths (useful for weighted BFS-style
         heuristics); the mapping algorithms primarily need adjacency for
-        their BFS traversals.
+        their BFS traversals.  Dead links and dead nodes are omitted,
+        so BFS-driven placement naturally avoids failed regions.
         """
         if self._graph is None:
             srcs = []
             dsts = []
             wts = []
             nodes = np.arange(self.num_nodes, dtype=np.int64)
+            alive = self.link_alive() if self.has_faults else None
             for dim in range(3):
                 size = self.dims[dim]
                 if size < 2:
                     continue
-                for step, _direction in ((1, 0), (-1, 1)):
+                for step, direction in ((1, 0), (-1, 1)):
                     nbr = self._neighbor(
                         nodes,
                         np.full(self.num_nodes, dim, dtype=np.int64),
                         np.full(self.num_nodes, step, dtype=np.int64),
                     )
-                    srcs.append(nodes)
-                    dsts.append(nbr)
+                    use_src, use_nbr = nodes, nbr
+                    if alive is not None:
+                        keep = alive[nodes * 6 + dim * 2 + direction]
+                        use_src, use_nbr = nodes[keep], nbr[keep]
+                    srcs.append(use_src)
+                    dsts.append(use_nbr)
                     wts.append(
-                        np.full(self.num_nodes, self.bandwidths[dim], dtype=np.float64)
+                        np.full(
+                            use_src.shape[0], self.bandwidths[dim], dtype=np.float64
+                        )
                     )
             if srcs:
                 src = np.concatenate(srcs)
@@ -240,4 +339,9 @@ class Torus3D:
         return self._graph
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Torus3D(dims={self.dims}, bw={self.bandwidths})"
+        faults = (
+            f", dead_links={self.dead_links.size}, dead_nodes={self.dead_nodes.size}"
+            if self.has_faults
+            else ""
+        )
+        return f"Torus3D(dims={self.dims}, bw={self.bandwidths}{faults})"

@@ -26,10 +26,30 @@ multi-core snapshots exist" item):
   build container's) skip this check with a note instead of gating on
   numbers that cannot show scaling.
 
+With ``--gate-tail`` the ``serving`` section (the network front end's
+tail-latency measurement from ``benchmarks/serve_load.py``) is gated on
+its *structural* invariants, which hold on any hardware:
+
+* **Nominal shed-free** — the nominal phase keeps fewer closed-loop
+  clients in flight than the server's admission bound, so any shed
+  there is an admission-control bug, not load.
+* **Overload sheds** — the overload phase runs more clients than
+  ``max_pending``; a server that never says ``overloaded`` there has
+  stopped shedding.
+* **Shedding is cheap** — the p95 of shed replies must be below the
+  p50 of answered requests: the point of admission control is that
+  "no" costs microseconds, not a mapping run.
+* **Coalescing works** — the synchronized identical burst must fold
+  into fewer dispatches than requests with exactly one grouping-stage
+  cache miss (the planner deduped the rest).
+* **Cross-snapshot p99** — when both snapshots carry a serving section
+  and come from multi-core hosts, the geo-mean of the nominal/overload
+  p99 ratios (new / baseline) must not exceed the threshold.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/compare_bench.py NEW.json [BASELINE.json]
-        [--threshold 1.25] [--gate-batch]
+        [--threshold 1.25] [--gate-batch] [--gate-tail]
 
 With no explicit baseline, the highest-numbered ``BENCH_<n>.json`` in
 the repository root that is not the new snapshot itself is used.
@@ -50,6 +70,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 __all__ = [
     "compare_snapshots",
     "gate_batch_throughput",
+    "gate_tail_latency",
     "latest_snapshot",
     "main",
 ]
@@ -205,6 +226,116 @@ def gate_batch_throughput(
     return ok, lines
 
 
+def gate_tail_latency(
+    baseline: dict, new: dict, threshold: float = 1.25
+) -> Tuple[bool, List[str]]:
+    """``(ok, report_lines)`` for the serving tail-latency gates.
+
+    See the module docstring: four hardware-independent structural
+    invariants of the ``serving`` section, plus a cross-snapshot p99
+    ratio that arms only when both snapshots carry the section and
+    were emitted on multi-core hosts.
+    """
+    import math
+
+    lines: List[str] = []
+    ok = True
+    section = new.get("serving")
+    if not section:
+        return False, ["tail gate: new snapshot has no serving section"]
+
+    nominal = section.get("nominal") or {}
+    overload = section.get("overload") or {}
+    coalesce = section.get("coalesce") or {}
+
+    shed = nominal.get("shed")
+    good = shed == 0 and nominal.get("completed", 0) > 0
+    ok = ok and good
+    lines.append(
+        f"tail gate: nominal shed={shed} "
+        f"completed={nominal.get('completed')} "
+        f"({'OK' if good else 'REGRESSION'}; must answer everything)"
+    )
+
+    good = overload.get("shed", 0) > 0
+    ok = ok and good
+    lines.append(
+        f"tail gate: overload shed={overload.get('shed')} "
+        f"({'OK' if good else 'REGRESSION'}; admission control must shed)"
+    )
+
+    shed_lat = overload.get("shed_latency") or {}
+    ans_lat = overload.get("latency") or {}
+    if shed_lat.get("count") and ans_lat.get("count"):
+        good = shed_lat["p95_ms"] < ans_lat["p50_ms"]
+        ok = ok and good
+        lines.append(
+            f"tail gate: shed reply p95 {shed_lat['p95_ms']:.2f} ms vs "
+            f"answered p50 {ans_lat['p50_ms']:.2f} ms "
+            f"({'OK' if good else 'REGRESSION'}; shedding must be cheap)"
+        )
+    else:
+        lines.append(
+            "tail gate: shed-cost check skipped (overload phase answered "
+            "or shed nothing)"
+        )
+
+    requests = coalesce.get("requests", 0)
+    dispatches = coalesce.get("dispatches")
+    misses = coalesce.get("grouping_misses")
+    good = (
+        requests > 1
+        and dispatches is not None
+        and dispatches < requests
+        and misses == 1
+    )
+    ok = ok and good
+    lines.append(
+        f"tail gate: coalesce {requests} identical requests -> "
+        f"{dispatches} dispatch(es), grouping misses {misses} "
+        f"({'OK' if good else 'REGRESSION'}; burst must fold and dedupe)"
+    )
+
+    base_section = baseline.get("serving")
+    base_cpus = int(baseline.get("cpus", 1) or 1)
+    new_cpus = int(new.get("cpus", 1) or 1)
+    if not base_section:
+        lines.append("tail gate: baseline has no serving section; p99 check skipped")
+    elif base_cpus < 2 or new_cpus < 2:
+        lines.append(
+            f"tail gate: p99 check skipped (baseline cpus={base_cpus}, "
+            f"new cpus={new_cpus}; needs multi-core on both sides)"
+        )
+    else:
+        log_sum = 0.0
+        compared = 0
+        for name in ("nominal", "overload"):
+            base_p99 = ((base_section.get(name) or {}).get("latency") or {}).get(
+                "p99_ms"
+            )
+            new_p99 = ((section.get(name) or {}).get("latency") or {}).get("p99_ms")
+            if not base_p99 or not new_p99:
+                continue
+            ratio = new_p99 / base_p99
+            log_sum += math.log(ratio)
+            compared += 1
+            lines.append(
+                f"tail gate: {name} p99 {base_p99:8.2f} -> {new_p99:8.2f} ms "
+                f"(ratio {ratio:.3f})"
+            )
+        if not compared:
+            lines.append("tail gate: snapshots share no p99 phases")
+        else:
+            geo = math.exp(log_sum / compared)
+            good = geo <= threshold
+            ok = ok and good
+            lines.append(
+                f"tail gate: geo-mean p99 ratio {geo:.3f} "
+                f"({'OK' if good else 'REGRESSION'}, threshold {threshold:.2f})"
+            )
+    return ok, lines
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail on a geo-mean map-time regression between snapshots."
@@ -228,6 +359,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also gate the batch_throughput section (persistent pools "
         "must beat spawn-per-call; multi-core snapshots gate requests/sec)",
     )
+    parser.add_argument(
+        "--gate-tail",
+        action="store_true",
+        help="also gate the serving section (nominal load must not shed, "
+        "overload must shed cheaply, identical bursts must coalesce; "
+        "multi-core snapshots gate the p99 ratio)",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or latest_snapshot(exclude=args.new)
@@ -246,6 +384,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             ok = ok and batch_ok
             lines += batch_lines
+        if args.gate_tail:
+            tail_ok, tail_lines = gate_tail_latency(baseline, new, args.threshold)
+            ok = ok and tail_ok
+            lines += tail_lines
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -24,6 +24,13 @@ to the paper's seven algorithms, and ``cpus`` records the *usable*
 (affinity-respecting) CPU count so snapshots from quota-limited
 containers read correctly.
 
+Since the network front end the snapshot also carries a ``serving``
+section (measured by ``benchmarks/serve_load.py``): closed-loop client
+load against the TCP server under nominal provisioning, under forced
+overload (admission-control shedding) and as a synchronized identical
+burst (request coalescing), with exact p50/p95/p99 latency per phase.
+``compare_bench.py --gate-tail`` gates on its structural invariants.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py [output.json]
@@ -43,6 +50,8 @@ import platform
 import re
 import sys
 import time
+
+import serve_load
 
 from repro.analysis.stats import geometric_mean
 from repro.api.cache import ArtifactCache
@@ -154,6 +163,7 @@ def main(argv) -> str:
         cache = WorkloadCache(profile)
         result = run_fig2(profile, cache, mappers=BENCH_MAPPERS)
         throughput = measure_batch_throughput(profile, cache)
+        serving = serve_load.measure_serving()
     except BaseException:
         if not existed:
             os.unlink(out_path)
@@ -180,6 +190,9 @@ def main(argv) -> str:
         "geo_mean_map_time_s_by_procs": per_procs,
         # map_batch requests/sec per backend (parallel execution engine).
         "batch_throughput": throughput,
+        # Network front end: tail latency under nominal/overload load
+        # plus the coalescing burst (benchmarks/serve_load.py).
+        "serving": serving,
         # Shared-artifact reuse during the sweep (MappingService batching).
         "artifact_cache": {
             ns: {"hits": s.hits, "misses": s.misses, "size": s.size}
@@ -212,6 +225,8 @@ def main(argv) -> str:
                 f"{m['warm_batch_s']:.2f} s, "
                 f"{m['speedup_vs_spawn_per_call']:.2f}x vs spawn-per-call)"
             )
+    print("  serving:")
+    serve_load._print_summary(serving)
     return out_path
 
 

@@ -179,6 +179,14 @@ class AsyncMappingService:
         """Plans currently executing (or queued on driver threads)."""
         return self._active
 
+    def stats(self) -> dict:
+        """Serving-observability counters (the ``stats`` op's aio block)."""
+        return {
+            "in_flight": self._active,
+            "max_in_flight": self.max_in_flight,
+            "closed": self._closed,
+        }
+
     async def close(self) -> None:
         """Stop the driver threads after in-flight plans finish.
 

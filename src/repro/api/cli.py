@@ -28,6 +28,17 @@ Subcommands
     update the stream's defaults; each served batch emits one JSON
     line on stdout.  ``--idle-timeout`` reaps idle workers between
     bursts (they respawn lazily).
+``serve``
+    Run the network front end of :mod:`repro.serve`: a TCP server
+    speaking length-prefixed JSON with admission control
+    (``--max-pending`` load shedding), weighted-fair-queuing tenant
+    isolation (``--tenant-weight``), request coalescing
+    (``--coalesce-window`` / ``--max-batch``) and per-endpoint latency
+    percentiles via its ``stats`` op.
+``stats``
+    Query a running ``serve`` instance's observability snapshot:
+    queue depths, shed/coalesce counters, p50/p95/p99 latencies, pool
+    health and cache statistics.
 
 Examples::
 
@@ -39,6 +50,10 @@ Examples::
         --backend process --json
     ... | python -m repro.api map-batch --follow --manifest - \
         --backend process --workers 4 --idle-timeout 30
+    python -m repro.api serve --listen 127.0.0.1:8765 --backend process \
+        --workers 4 --max-pending 64 --tenant-weight batch=1 \
+        --tenant-weight interactive=4
+    python -m repro.api stats --connect 127.0.0.1:8765
 
 The manifest is either a JSON list of request objects or
 ``{"defaults": {...}, "requests": [...]}``; each request names a corpus
@@ -60,19 +75,22 @@ import time
 from collections import OrderedDict
 from typing import List, Optional
 
-import numpy as np
-
 from repro.api.cache import ArtifactCache
 from repro.api.executor import BACKENDS
 from repro.api.registry import UnknownMapperError, get_spec, registered_mappers
 from repro.api.request import MapRequest
 from repro.api.service import MappingService
 from repro.api.store import DiskArtifactStore
-from repro.data.corpus import CORPUS, load_matrix
-from repro.graph.task_graph import TaskGraph
-from repro.hypergraph.model import Hypergraph
-from repro.partition.toolbox import PARTITIONER_NAMES, get_partitioner
-from repro.topology.allocation import AllocationSpec, SparseAllocator, torus_for_job
+from repro.data.corpus import CORPUS
+from repro.partition.toolbox import PARTITIONER_NAMES
+from repro.serve.protocol import (
+    ProtocolError,
+    build_workload,
+    error_payload,
+    parse_stream_line,
+    requests_from_entries,
+    response_payload,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -160,6 +178,96 @@ def build_parser() -> argparse.ArgumentParser:
         "(they respawn lazily on the next batch)",
     )
     _add_engine_args(p_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the network mapping server (length-prefixed JSON over TCP)",
+        description="Run the asyncio network front end: admission control "
+        "with load shedding (--max-pending), weighted-fair-queuing tenant "
+        "isolation (--tenant-weight), request coalescing into planner-"
+        "deduped batches (--coalesce-window/--max-batch) and a stats op "
+        "exposing p50/p95/p99 per endpoint.  Prints one "
+        '{"listening": [host, port]} line on stdout once bound; SIGINT/'
+        "SIGTERM (or a client shutdown op) drain in-flight work and exit.",
+    )
+    p_serve.add_argument(
+        "--listen",
+        default="127.0.0.1:8765",
+        metavar="HOST:PORT",
+        help="bind address (default 127.0.0.1:8765; port 0 = ephemeral)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission bound: map requests admitted but unanswered; "
+        "past it new requests are shed with an 'overloaded' error "
+        "(default 64)",
+    )
+    p_serve.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=0.005,
+        metavar="SEC",
+        help="batching window: seconds the dispatcher collects concurrent "
+        "requests before folding them into one engine batch (default "
+        "0.005; 0 dispatches eagerly)",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="most requests folded into one map_batch call (default 16)",
+    )
+    p_serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent plans executing in the async service (default 2)",
+    )
+    p_serve.add_argument(
+        "--tenant-weight",
+        action="append",
+        default=[],
+        metavar="NAME=W",
+        help="weighted-fair-queuing weight for a tenant (repeatable; "
+        "higher = more service)",
+    )
+    p_serve.add_argument(
+        "--default-tenant-weight",
+        type=float,
+        default=1.0,
+        metavar="W",
+        help="weight of tenants not named by --tenant-weight (default 1)",
+    )
+    p_serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="reap idle pool workers after SEC seconds "
+        "(they respawn lazily on the next request)",
+    )
+    _add_engine_args(p_serve)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="query a running server's observability snapshot",
+        description="Connect to a running 'serve' instance and print its "
+        "stats op: queue depths per tenant, shed/coalesce counters, "
+        "per-endpoint latency percentiles, async in-flight counts, "
+        "ExecutorPool health and artifact-cache statistics.",
+    )
+    p_stats.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the running server",
+    )
+    p_stats.add_argument("--json", action="store_true", help="emit JSON")
     return parser
 
 
@@ -245,43 +353,6 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_workload(
-    matrix_name: str,
-    procs: int,
-    ppn: int,
-    rows_per_unit: int,
-    partitioner: str,
-    seed: int,
-    fragmentation: float,
-):
-    """Corpus matrix → partitioned task graph + allocated machine."""
-    entry = next((e for e in CORPUS if e.name == matrix_name), None)
-    if entry is None:
-        raise ValueError(
-            f"unknown matrix {matrix_name!r}; corpus: {[e.name for e in CORPUS]}"
-        )
-    if procs % ppn:
-        raise ValueError(f"--procs {procs} not divisible by --ppn {ppn}")
-    matrix = load_matrix(entry, rows_per_unit, seed)
-    h = Hypergraph.from_matrix(matrix)
-    tool = get_partitioner(partitioner)
-    part = tool.partition(matrix, procs, seed=seed, hypergraph=h).part
-    loads = np.bincount(part, weights=h.loads, minlength=procs)
-    tg = TaskGraph.from_comm_triplets(
-        procs, h.comm_triplets(part, procs), loads=loads
-    )
-    nodes = procs // ppn
-    machine = SparseAllocator(torus_for_job(nodes)).allocate(
-        AllocationSpec(
-            num_nodes=nodes,
-            procs_per_node=ppn,
-            fragmentation=fragmentation,
-            seed=seed,
-        )
-    )
-    return tg, machine
-
-
 def _build_service(args: argparse.Namespace) -> MappingService:
     """Service wired to the CLI's cache bounds, store and backend flags."""
     store = (
@@ -319,7 +390,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
     for a in algos:  # fail fast, before the workload build
         get_spec(a)
 
-    tg, machine = _build_workload(
+    tg, machine = build_workload(
         args.matrix,
         args.procs,
         args.ppn,
@@ -410,72 +481,6 @@ def _cmd_map(args: argparse.Namespace) -> int:
 #: least-recently-used entries beyond this are dropped after each batch.
 _FOLLOW_WORKLOAD_LIMIT = 32
 
-#: Per-request fallbacks of the ``map-batch`` manifest (overridden by the
-#: manifest's ``defaults`` object, then by each request entry).
-_MANIFEST_DEFAULTS = {
-    "algos": "UG,UWH",
-    "procs": 64,
-    "ppn": 4,
-    "rows_per_unit": 120,
-    "partitioner": "PATOH",
-    "seed": 0,
-    "delta": 8,
-    "fragmentation": 0.3,
-}
-
-
-def _requests_from_entries(
-    entries: List[dict], defaults: dict, workloads: dict
-) -> List[MapRequest]:
-    """Manifest entries → MapRequests; *workloads* caches built inputs.
-
-    Shared by the one-shot manifest path and the ``--follow`` stream —
-    the latter passes one *workloads* dict across all served batches,
-    so a stream hammering the same matrices builds each workload once.
-    """
-    requests: List[MapRequest] = []
-    for i, entry in enumerate(entries):
-        if not isinstance(entry, dict):
-            raise ValueError(f"request #{i} must be an object, got {entry!r}")
-        spec = {**_MANIFEST_DEFAULTS, **defaults, **entry}
-        if "matrix" not in spec:
-            raise ValueError(f"request #{i} names no 'matrix'")
-        algos = spec["algos"]
-        if isinstance(algos, str):
-            algos = tuple(a.strip() for a in algos.split(",") if a.strip())
-        else:
-            algos = tuple(algos)
-        if not algos:
-            raise ValueError(f"request #{i} names no algorithms")
-        for a in algos:  # fail fast, before any workload build
-            get_spec(a)
-        key = (
-            spec["matrix"],
-            int(spec["procs"]),
-            int(spec["ppn"]),
-            int(spec["rows_per_unit"]),
-            spec["partitioner"],
-            int(spec["seed"]),
-            float(spec["fragmentation"]),
-        )
-        if key not in workloads:
-            workloads[key] = _build_workload(*key)
-        else:
-            workloads.move_to_end(key)  # follow mode bounds by recency
-        tg, machine = workloads[key]
-        requests.append(
-            MapRequest(
-                task_graph=tg,
-                machine=machine,
-                algorithms=algos,
-                seed=int(spec["seed"]),
-                delta=int(spec["delta"]),
-                evaluate=True,
-                tag=spec.get("tag", i),
-            )
-        )
-    return requests
-
 
 def _manifest_requests(args: argparse.Namespace) -> List[MapRequest]:
     """Parse the manifest into MapRequests (workloads built once per key)."""
@@ -490,36 +495,7 @@ def _manifest_requests(args: argparse.Namespace) -> List[MapRequest]:
         raise ValueError("manifest must be a JSON list or object")
     if not isinstance(entries, list) or not entries:
         raise ValueError("manifest needs a non-empty 'requests' list")
-    return _requests_from_entries(entries, defaults, OrderedDict())
-
-
-def _response_payload(r) -> dict:
-    """One response as the JSON object both batch modes emit.
-
-    A failed response (``on_error="partial"``) keeps the ``tag`` /
-    ``algorithm`` identity fields and carries the structured error in
-    place of the mapping payload.
-    """
-    if not r.ok:
-        return {
-            "tag": r.tag,
-            "algorithm": r.algorithm,
-            "ok": False,
-            "error": r.error.as_dict(),
-        }
-    return {
-        "tag": r.tag,
-        "algorithm": r.algorithm,
-        "ok": True,
-        "metrics": (
-            {k: float(v) for k, v in r.metrics.as_dict().items()}
-            if r.metrics is not None
-            else None
-        ),
-        "map_time_s": r.map_time,
-        "prep_time_s": r.prep_time,
-        "grouping_cached": r.grouping_cached,
-    }
+    return requests_from_entries(entries, defaults, OrderedDict())
 
 
 def _cmd_map_batch(args: argparse.Namespace) -> int:
@@ -544,7 +520,7 @@ def _cmd_map_batch(args: argparse.Namespace) -> int:
     if args.json:
         payload = {
             **summary,
-            "results": [_response_payload(r) for r in responses],
+            "results": [response_payload(r) for r in responses],
         }
         if args.stats:
             payload["cache_stats"] = _stats_payload(service.cache)
@@ -652,12 +628,11 @@ def _cmd_follow(args: argparse.Namespace) -> int:
             if not line or line.startswith("#"):
                 continue
             try:
-                payload = json.loads(line)
-                if isinstance(payload, dict) and set(payload) == {"defaults"}:
-                    defaults = {**defaults, **payload["defaults"]}
+                kind, payload = parse_stream_line(line)
+                if kind == "defaults":
+                    defaults = {**defaults, **payload}
                     continue
-                entries = payload if isinstance(payload, list) else [payload]
-                requests = _requests_from_entries(entries, defaults, workloads)
+                requests = requests_from_entries(payload, defaults, workloads)
                 state["in_batch"] = True
                 try:
                     t0 = time.perf_counter()
@@ -666,8 +641,19 @@ def _cmd_follow(args: argparse.Namespace) -> int:
                 finally:
                     state["in_batch"] = False
             except (ValueError, KeyError, TypeError) as exc:
+                # ProtocolError carries the structured PlanError-shaped
+                # dict the network server emits; anything else is
+                # wrapped into the same shape so stream consumers see
+                # exactly one malformed-input schema.
+                error = (
+                    exc.as_dict()
+                    if isinstance(exc, ProtocolError)
+                    else error_payload(
+                        "bad_request", str(exc), exception=type(exc).__name__
+                    )
+                )
                 print(
-                    json.dumps({"line": lineno, "error": str(exc)}), flush=True
+                    json.dumps({"line": lineno, "error": error}), flush=True
                 )
                 continue
             batches += 1
@@ -684,7 +670,7 @@ def _cmd_follow(args: argparse.Namespace) -> int:
                         "requests": len(requests),
                         "errors": errors,
                         "elapsed_s": elapsed,
-                        "results": [_response_payload(r) for r in responses],
+                        "results": [response_payload(r) for r in responses],
                     }
                 ),
                 flush=True,
@@ -730,6 +716,183 @@ def _cmd_follow(args: argparse.Namespace) -> int:
         if store_counts:
             summary = ", ".join(f"{ns}: {n}" for ns, n in store_counts.items())
             print(f"Pool artifact store: {summary}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the network server until a signal or client ``shutdown`` op.
+
+    The serving wiring mirrors ``--follow``: one :class:`ExecutorPool`
+    (when the backend supports one) and one front-end cache layered
+    over the pool's store live for the whole run, so spawn and warm-up
+    costs are paid once.  On top sits the asyncio
+    :class:`~repro.serve.server.MappingServer` with its admission /
+    fairness / coalescing machinery.  Once bound, one
+    ``{"listening": [host, port]}`` line goes to stdout (flushed — the
+    CI smoke job reads it to discover an ephemeral port); the exit
+    summary goes to stderr.
+    """
+    import asyncio
+    import signal
+
+    from repro.api.pool import POOL_BACKENDS, ExecutorPool
+    from repro.serve.client import parse_address
+    from repro.serve.server import MappingServer
+
+    host, port = parse_address(args.listen)
+    weights = {}
+    for item in args.tenant_weight:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise ValueError(f"--tenant-weight {item!r} is not NAME=WEIGHT")
+        weights[name] = float(value)
+    fault = _fault_kwargs(args)
+
+    pool = None
+    if args.backend in POOL_BACKENDS:
+        pool = ExecutorPool(
+            args.backend,
+            workers=args.workers,
+            store_dir=args.store_dir,
+            idle_timeout=args.idle_timeout,
+        )
+    store = pool.store if pool is not None else (
+        DiskArtifactStore(args.store_dir) if args.store_dir is not None else None
+    )
+    snapshot: dict = {}
+
+    async def _amain() -> None:
+        server = MappingServer(
+            pool=pool,
+            host=host,
+            port=port,
+            max_pending=args.max_pending,
+            coalesce_window=args.coalesce_window,
+            max_batch=args.max_batch,
+            tenant_weights=weights or None,
+            default_tenant_weight=args.default_tenant_weight,
+            retry=fault.get("retry"),
+            node_timeout=fault.get("node_timeout"),
+            max_in_flight=args.max_in_flight,
+            cache=ArtifactCache(
+                max_entries=args.cache_entries,
+                max_bytes=args.cache_bytes,
+                store=store,
+            ),
+            backend=args.backend,
+            workers=args.workers,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, ValueError):
+                pass  # non-main thread (in-process tests)
+        bound = await server.start()
+        print(json.dumps({"listening": list(bound)}), flush=True)
+        try:
+            await server.serve_until(stop)
+        finally:
+            snapshot.update(server.stats_payload())
+
+    try:
+        asyncio.run(_amain())
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    counters = snapshot.get("counters", {})
+    lat = snapshot.get("latency", {}).get("map", {})
+    print(
+        f"served {counters.get('completed', 0)} requests "
+        f"({counters.get('shed', 0)} shed, "
+        f"{counters.get('deadline_expired', 0)} expired, "
+        f"{counters.get('result_errors', 0)} result errors) over "
+        f"{counters.get('dispatches', 0)} dispatches; "
+        f"map p50={lat.get('p50_ms', 0.0):.1f} ms "
+        f"p99={lat.get('p99_ms', 0.0):.1f} ms "
+        f"(backend={args.backend}, workers={args.workers or 'auto'})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, parse_address
+
+    host, port = parse_address(args.connect)
+    with ServeClient(host, port, timeout=10.0) as client:
+        snapshot = client.stats()
+    if args.json:
+        print(json.dumps(snapshot, indent=1))
+        return 0
+
+    server = snapshot["server"]
+    queue = snapshot["queue"]
+    counters = snapshot["counters"]
+    coalesce = snapshot["coalesce"]
+    listening = server.get("listening")
+    addr = f"{listening[0]}:{listening[1]}" if listening else "?"
+    print(
+        f"server {addr}  up {server['uptime_s']:.1f} s  "
+        f"(max_pending={server['max_pending']}, "
+        f"window={server['coalesce_window_s'] * 1e3:g} ms, "
+        f"max_batch={server['max_batch']}"
+        f"{', draining' if server['stopping'] else ''})"
+    )
+    tenants = (
+        ", ".join(f"{t}={n}" for t, n in sorted(queue["tenants"].items()))
+        or "-"
+    )
+    print(
+        f"queue: pending={queue['pending']} depth={queue['depth']} "
+        f"recent_rps={queue['recent_rps']:.2f} tenants: {tenants}"
+    )
+    print(
+        "counters: "
+        + " ".join(f"{k}={counters[k]}" for k in sorted(counters))
+    )
+    print(
+        f"coalesce: dispatches={coalesce['dispatches']} "
+        f"coalesced_requests={coalesce['coalesced_requests']} "
+        f"mean_batch={coalesce['mean_batch']:.2f}"
+    )
+    print(
+        f"\n{'endpoint':>12s} {'count':>7s} {'mean':>8s} {'p50':>8s} "
+        f"{'p95':>8s} {'p99':>8s} {'max':>8s}  (ms)"
+    )
+    print("-" * 68)
+    for name in sorted(snapshot["latency"]):
+        h = snapshot["latency"][name]
+        if not h.get("count"):
+            print(f"{name:>12s} {0:7d}")
+            continue
+        print(
+            f"{name:>12s} {h['count']:7d} {h['mean_ms']:8.2f} "
+            f"{h['p50_ms']:8.2f} {h['p95_ms']:8.2f} {h['p99_ms']:8.2f} "
+            f"{h['max_ms']:8.2f}"
+        )
+    aio = snapshot["aio"]
+    print(f"\naio: in_flight {aio['in_flight']}/{aio['max_in_flight']}")
+    pool = snapshot.get("pool")
+    if pool:
+        print(
+            f"pool: backend={pool['backend']} "
+            f"workers={pool['workers'] or 'auto'} "
+            f"live={pool['live_workers']} spawns={pool['spawn_count']} "
+            f"restarts={pool['restarts']} "
+            f"healthy={'yes' if pool['healthy'] else 'NO'}"
+        )
+    cache = snapshot.get("cache") or {}
+    busy = {
+        ns: s for ns, s in cache.items() if s["hits"] or s["misses"] or s["size"]
+    }
+    if busy:
+        summary = ", ".join(
+            f"{ns}: {s['hits']}h/{s['misses']}m ({s['size']} live)"
+            for ns, s in sorted(busy.items())
+        )
+        print(f"cache: {summary}")
     return 0
 
 
@@ -784,6 +947,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list(args)
         if args.command == "map-batch":
             return _cmd_map_batch(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
         return _cmd_map(args)
     except (OSError, ValueError, UnknownMapperError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -301,12 +301,16 @@ class ExecutorPool:
         """Lifecycle counters for monitoring/serving endpoints."""
         with self._lock:
             executor = self._executor
+            live = 0
+            if executor is not None and self.backend == "process":
+                live = len(getattr(executor, "_processes", None) or {})
             return {
                 "backend": self.backend,
                 "workers": self.workers,
                 "spawn_count": self.spawn_count,
                 "restarts": self.restarts,
                 "executor_alive": executor is not None,
+                "live_workers": live,
                 "healthy": not self._closed
                 and (executor is None or not getattr(executor, "_broken", False)),
                 "active_batches": self._active,

@@ -156,3 +156,23 @@ class MapResponse:
     @property
     def prep_time(self) -> float:
         return self._result().prep_time
+
+    def fingerprint(self) -> Optional[int]:
+        """Content fingerprint of the produced mapping (None on error).
+
+        Two responses carry the same fingerprint iff their fine and
+        coarse mappings are byte-identical — the serving layer ships
+        this over the wire instead of the gamma arrays, so clients
+        (and the integration tests) can assert response identity
+        without a side channel.
+        """
+        if self.result is None:
+            return None
+        from repro.util.fingerprint import fingerprint_arrays
+
+        return int(
+            fingerprint_arrays(
+                np.ascontiguousarray(self.result.fine_gamma),
+                np.ascontiguousarray(self.result.coarse_gamma),
+            )
+        )

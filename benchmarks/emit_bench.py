@@ -51,6 +51,7 @@ import re
 import sys
 import time
 
+import numpy as np
 import serve_load
 
 from repro.analysis.stats import geometric_mean
@@ -61,7 +62,10 @@ from repro.api.service import MappingService
 from repro.experiments.fig2 import run_fig2, sweep_requests
 from repro.experiments.harness import WorkloadCache
 from repro.experiments.profiles import profile_from_env
+from repro.kernels.backend import backend_info, numba_available, use_backend, warm_up
 from repro.mapping.pipeline import FAMILY_MAPPER_NAMES, MAPPER_NAMES
+from repro.topology.routing import RouteTable, routes_bulk
+from repro.topology.torus import Torus3D
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -151,6 +155,163 @@ def measure_batch_throughput(profile, cache: WorkloadCache) -> dict:
     return out
 
 
+#: Timing repetitions per kernel; the minimum is reported (the standard
+#: microbenchmark estimator: least-interfered-with run).
+KERNEL_REPS = 20
+
+#: Dead-link fractions of the degraded-machine routing sweep.
+DEGRADED_FRACTIONS = (0.0, 0.01, 0.05)
+
+
+def _kernel_workloads() -> dict:
+    """``name -> zero-arg callable`` over each escalated hot kernel.
+
+    Workload shapes mirror ``benchmarks/test_perf_kernels.py`` (960-node
+    torus, 256-task graphs, Δ=8 candidate batches).  The callables
+    dispatch through :func:`repro.kernels.backend.get_backend` at call
+    time, so one workload set serves every backend measurement.
+    """
+    from repro.graph.csr import expand_frontier
+    from repro.graph.task_graph import TaskGraph
+    from repro.kernels import batched_swap_gains, hop_table_for, task_whops_many
+    from repro.kernels.congestion import CongestionModel
+
+    rng = np.random.default_rng(7)
+    torus = Torus3D((12, 10, 8))
+    table = hop_table_for(torus)
+    a = rng.integers(0, torus.num_nodes, size=10_000)
+    b = rng.integers(0, torus.num_nodes, size=10_000)
+
+    gm = torus.graph()
+    frontier = np.arange(0, torus.num_nodes, 97, dtype=np.int64)
+
+    n = 256
+    src = rng.integers(0, n, size=2500)
+    dst = rng.integers(0, n, size=2500)
+    keep = src != dst
+    vol = rng.integers(1, 20, size=2500).astype(np.float64)
+    tg = TaskGraph.from_edges(n, src[keep], dst[keep], vol[keep])
+    sym = tg.symmetrized()
+    gamma = rng.choice(torus.num_nodes, size=n, replace=False).astype(np.int64)
+    partners = np.asarray([3, 17, 42, 88, 101, 150, 199, 230], dtype=np.int64)
+    whops0 = float(
+        task_whops_many(sym, table, gamma, np.asarray([0], dtype=np.int64))[0]
+    )
+    src_t, dst_t, vols = tg.graph.edge_list()
+    model = CongestionModel(torus, src_t, dst_t, vols, gamma)
+
+    m = 2500
+    rsrc = rng.integers(0, torus.num_nodes, size=m)
+    rdst = rng.integers(0, torus.num_nodes, size=m)
+    rtable = RouteTable.build(torus, rsrc, rdst)
+    volumes = rng.integers(1, 20, size=m).astype(np.float64)
+    pairs = np.unique(rng.integers(0, m, size=64))
+    links, msg = routes_bulk(torus, rdst[pairs], rsrc[pairs])
+    order = np.argsort(msg, kind="stable")
+    counts = np.bincount(msg, minlength=pairs.size)
+    new_links, new_counts = links[order], counts
+
+    def one_level():
+        seen = np.zeros(gm.num_vertices, dtype=bool)
+        seen[frontier] = True
+        return expand_frontier(gm, frontier, seen)
+
+    return {
+        "pairwise_hops": lambda: table.pairwise_hops(a, b),
+        "expand_frontier": one_level,
+        "swap_gains": lambda: batched_swap_gains(
+            sym, table, gamma, 0, partners, whops_t1=whops0
+        ),
+        "evaluate_swaps": lambda: model.evaluate_swaps(0, partners),
+        "comm_index_refresh": model._refresh_comm_index,
+        "accumulate_loads": lambda: rtable.accumulate(volumes),
+        "splice_routes": lambda: rtable.replace_routes(pairs, new_links, new_counts),
+    }
+
+
+def measure_kernel_backends() -> dict:
+    """Per-kernel NumPy-vs-numba timings (the ``kernel_backends`` section).
+
+    Each backend is installed process-wide and warmed first, so the
+    numba column times steady-state compiled code — the latency a
+    pre-warmed pool worker pays — never JIT compilation.  Without numba
+    the native column stays null and ``compare_bench.py --gate-native``
+    skips; PERFORMANCE.md documents that case.
+    """
+    workloads = _kernel_workloads()
+    out = {
+        "numba_available": numba_available(),
+        "active": backend_info(),
+        "kernels": {name: {"numpy_s": None, "numba_s": None} for name in workloads},
+        "warmup": None,
+    }
+    backends = ["numpy"] + (["numba"] if numba_available() else [])
+    for backend in backends:
+        with use_backend(backend) as be:
+            record = warm_up(be)
+            if backend == "numba":
+                out["warmup"] = record
+            for name, fn in workloads.items():
+                best = min(
+                    _timed(fn) for _ in range(KERNEL_REPS)
+                )
+                out["kernels"][name][f"{backend}_s"] = best
+    for m in out["kernels"].values():
+        m["speedup"] = (
+            m["numpy_s"] / m["numba_s"] if m["numpy_s"] and m["numba_s"] else None
+        )
+    return out
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def measure_degraded_sweep() -> dict:
+    """BFS-detour routing cost on degraded machines (``degraded`` section).
+
+    One 8×8×8 torus, one fixed random pair set, increasing dead-link
+    fractions: route-table build time, route-length inflation over the
+    healthy geometric distance, and the fraction of pairs whose route
+    detours at all.  Tracks the fault-avoiding router's overhead
+    trajectory commit over commit.
+    """
+    rng = np.random.default_rng(29)
+    torus = Torus3D((8, 8, 8))
+    m = 2000
+    src = rng.integers(0, torus.num_nodes, size=m)
+    dst = rng.integers(0, torus.num_nodes, size=m)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    base_hops = torus.hop_distance(src, dst)
+    num_links = torus.num_nodes * 6
+    out = {"torus": list(torus.dims), "pairs": int(src.size), "fractions": {}}
+    for frac in DEGRADED_FRACTIONS:
+        n_dead = int(round(frac * num_links))
+        degraded = (
+            torus.with_failures(
+                dead_links=rng.choice(num_links, size=n_dead, replace=False)
+            )
+            if n_dead
+            else torus
+        )
+        t0 = time.perf_counter()
+        table = RouteTable.build(degraded, src, dst)
+        build_s = time.perf_counter() - t0
+        lengths = np.diff(table.ptr)
+        out["fractions"][str(frac)] = {
+            "dead_links": n_dead,
+            "build_s": build_s,
+            "total_hops": int(lengths.sum()),
+            # >1.0 means detours: extra hops paid to route around faults.
+            "length_inflation": float(lengths.sum() / base_hops.sum()),
+            "affected_pair_fraction": float((lengths > base_hops).mean()),
+        }
+    return out
+
+
 def main(argv) -> str:
     out_path = argv[1] if len(argv) > 1 else next_snapshot_path()
     # Fail on an unwritable destination *before* the minutes-long sweep,
@@ -164,6 +325,8 @@ def main(argv) -> str:
         result = run_fig2(profile, cache, mappers=BENCH_MAPPERS)
         throughput = measure_batch_throughput(profile, cache)
         serving = serve_load.measure_serving()
+        kernel_backends = measure_kernel_backends()
+        degraded = measure_degraded_sweep()
     except BaseException:
         if not existed:
             os.unlink(out_path)
@@ -193,6 +356,11 @@ def main(argv) -> str:
         # Network front end: tail latency under nominal/overload load
         # plus the coalescing burst (benchmarks/serve_load.py).
         "serving": serving,
+        # Per-kernel NumPy-vs-numba timings (null native entries mean
+        # numba was not installed where this snapshot was emitted).
+        "kernel_backends": kernel_backends,
+        # Fault-avoiding router overhead vs dead-link fraction.
+        "degraded": degraded,
         # Shared-artifact reuse during the sweep (MappingService batching).
         "artifact_cache": {
             ns: {"hits": s.hits, "misses": s.misses, "size": s.size}
@@ -227,6 +395,24 @@ def main(argv) -> str:
             )
     print("  serving:")
     serve_load._print_summary(serving)
+    print(
+        f"  kernels (numba_available={kernel_backends['numba_available']}):"
+    )
+    for name, m in sorted(kernel_backends["kernels"].items()):
+        native = (
+            f"{m['numba_s'] * 1e3:8.3f} ms ({m['speedup']:.2f}x)"
+            if m["numba_s"]
+            else "    (no numba)"
+        )
+        print(f"    {name:>18s}: numpy {m['numpy_s'] * 1e3:8.3f} ms  numba {native}")
+    print("  degraded routing:")
+    for frac, m in degraded["fractions"].items():
+        print(
+            f"    {float(frac) * 100:4.1f}% dead links: build "
+            f"{m['build_s'] * 1e3:7.1f} ms, inflation "
+            f"{m['length_inflation']:.4f}, affected "
+            f"{m['affected_pair_fraction'] * 100:.2f}% of pairs"
+        )
     return out_path
 
 

@@ -8,7 +8,15 @@ Tracks the primitives the mapping hot paths are built from:
 * one ``batched_swap_gains`` call (Δ=8 candidates) vs Δ scalar
   ``_swap_gain`` invocations;
 * one ``CongestionModel.evaluate_swaps`` call (Δ=8 candidates) vs Δ
-  scalar ``swap_improves`` probes — Algorithm 3's inner loop.
+  scalar ``swap_improves`` probes — Algorithm 3's inner loop;
+* ``RouteTable.accumulate`` / ``replace_routes`` — the congestion
+  model's per-commit route maintenance.
+
+Every benchmark that sits on a dispatching call site takes the
+``kernel_backend`` axis (``benchmarks/conftest.py``), so with numba
+installed the table shows each kernel's numpy and (pre-warmed) native
+timings side by side — the per-kernel comparison behind the
+``kernel_backends`` section of the committed snapshots.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/test_perf_kernels.py``;
 pytest-benchmark prints the comparison table.
@@ -21,6 +29,7 @@ from repro.graph.csr import expand_frontier
 from repro.graph.task_graph import TaskGraph
 from repro.kernels import HopTable, batched_swap_gains, hop_table_for
 from repro.mapping.refine_wh import _swap_gain, _task_whops
+from repro.topology.routing import RouteTable, routes_bulk
 from repro.topology.torus import Torus3D
 
 N_PAIRS = 10_000
@@ -44,7 +53,7 @@ def test_hop_formula_baseline(benchmark, torus, pairs):
     benchmark(lambda: torus.hop_distance(a, b))
 
 
-def test_hop_table_pairwise(benchmark, torus, pairs):
+def test_hop_table_pairwise(benchmark, torus, pairs, kernel_backend):
     a, b = pairs
     table = hop_table_for(torus)
     assert table.has_matrix
@@ -65,7 +74,7 @@ def test_hop_table_cross(benchmark, torus):
     benchmark(lambda: table.cross_hops(cands, nbrs))
 
 
-def test_frontier_expansion(benchmark, torus):
+def test_frontier_expansion(benchmark, torus, kernel_backend):
     gm = torus.graph()
     assert gm.padded_neighbors() is not None
     frontier0 = np.arange(0, torus.num_nodes, 97, dtype=np.int64)
@@ -102,7 +111,7 @@ def test_swap_gain_scalar_baseline(benchmark, torus, swap_workload):
     benchmark(scalar)
 
 
-def test_swap_gain_batched(benchmark, torus, swap_workload):
+def test_swap_gain_batched(benchmark, torus, swap_workload, kernel_backend):
     sym, gamma, partners = swap_workload
     table = hop_table_for(torus)
     whops0 = _task_whops(0, sym, torus, gamma)
@@ -142,7 +151,7 @@ def test_congestion_probe_scalar_baseline(benchmark, congestion_workload):
     benchmark(scalar)
 
 
-def test_congestion_probe_batched(benchmark, congestion_workload):
+def test_congestion_probe_batched(benchmark, congestion_workload, kernel_backend):
     model, partners = congestion_workload
 
     def batched():
@@ -151,3 +160,32 @@ def test_congestion_probe_batched(benchmark, congestion_workload):
     got = benchmark(batched)
     want = [model.swap_improves(0, int(t)) for t in partners]
     assert got.tolist() == want
+
+
+@pytest.fixture(scope="module")
+def route_workload(torus):
+    rng = np.random.default_rng(17)
+    m = 2500
+    src = rng.integers(0, torus.num_nodes, size=m)
+    dst = rng.integers(0, torus.num_nodes, size=m)
+    table = RouteTable.build(torus, src, dst)
+    volumes = rng.integers(1, 20, size=m).astype(np.float64)
+    pairs = np.unique(rng.integers(0, m, size=64))
+    links, msg = routes_bulk(torus, dst[pairs], src[pairs])  # reversed routes
+    order = np.argsort(msg, kind="stable")
+    counts = np.bincount(msg, minlength=pairs.size)
+    return table, volumes, pairs, links[order], counts
+
+
+def test_route_accumulate(benchmark, route_workload, kernel_backend):
+    table, volumes, _, _, _ = route_workload
+    benchmark(lambda: table.accumulate(volumes))
+
+
+def test_route_splice(benchmark, route_workload, kernel_backend):
+    table, _, pairs, new_links, new_counts = route_workload
+
+    def splice():
+        table.replace_routes(pairs, new_links, new_counts)
+
+    benchmark(splice)

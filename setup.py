@@ -11,7 +11,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-taskmap",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Fast and High Quality Topology-Aware Task "
         "Mapping' (IPDPS 2015) with a batch/serving execution engine"
@@ -36,6 +36,13 @@ setup(
             # command line; local runs without the plugin still work.
             "pytest-timeout",
             "ruff",
+        ],
+        # Optional JIT acceleration tier: repro.kernels.native compiles
+        # the hottest kernels with numba when present.  Strictly
+        # optional — everything falls back to the bit-identical NumPy
+        # reference paths without it (see repro.kernels.backend).
+        "native": [
+            "numba>=0.57",
         ],
     },
     entry_points={

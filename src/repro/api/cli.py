@@ -82,6 +82,12 @@ from repro.api.request import MapRequest
 from repro.api.service import MappingService
 from repro.api.store import DiskArtifactStore
 from repro.data.corpus import CORPUS
+from repro.kernels.backend import (
+    ENV_VAR as KERNEL_ENV_VAR,
+    KERNEL_BACKENDS,
+    backend_info,
+    set_backend,
+)
 from repro.partition.toolbox import PARTITIONER_NAMES
 from repro.serve.protocol import (
     ProtocolError,
@@ -330,6 +336,30 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         "structured error entry instead of aborting the whole batch "
         "(--follow mode always serves partial results)",
     )
+    parser.add_argument(
+        "--kernel-backend",
+        default=None,
+        choices=("auto",) + KERNEL_BACKENDS,
+        help="kernel implementation tier: numba (JIT-compiled hot paths), "
+        "numpy (always-available reference), or auto-detect (default; "
+        "numba when installed).  An unsatisfiable numba request falls "
+        "back to numpy with the reason reported",
+    )
+
+
+def _install_kernel_backend(args: argparse.Namespace) -> None:
+    """Install the requested kernel backend for this process and its pools.
+
+    An explicit ``--kernel-backend`` is mirrored into the environment so
+    process-pool workers — one-shot engine pools and persistent
+    ``ExecutorPool`` workers alike — resolve the same choice on spawn.
+    """
+    choice = getattr(args, "kernel_backend", None)
+    if choice is not None:
+        import os
+
+        os.environ[KERNEL_ENV_VAR] = choice
+    set_backend(choice)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -342,6 +372,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
             }
             for name in names
         }
+        payload["kernel_backend"] = backend_info()
         print(json.dumps(payload, indent=1))
         return 0
     print(f"{'mapper':>8s}  {'stages':<40s} description")
@@ -350,6 +381,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
         spec = get_spec(name)
         chain = " → ".join(spec.stage_names())
         print(f"{name:>8s}  {chain:<40s} {spec.description}")
+    info = backend_info()
+    note = f" — {info['fallback_reason']}" if info["fallback_reason"] else ""
+    print(
+        f"\nkernel backend: {info['backend']} "
+        f"(requested {info['requested']}){note}"
+    )
     return 0
 
 
@@ -384,6 +421,7 @@ def _fault_kwargs(args: argparse.Namespace, *, partial: bool = False) -> dict:
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
+    _install_kernel_backend(args)
     algos = tuple(a.strip() for a in args.algos.split(",") if a.strip())
     if not algos:
         raise ValueError("--algos needs at least one mapper name")
@@ -499,6 +537,7 @@ def _manifest_requests(args: argparse.Namespace) -> List[MapRequest]:
 
 
 def _cmd_map_batch(args: argparse.Namespace) -> int:
+    _install_kernel_backend(args)
     if args.follow:
         return _cmd_follow(args)
     requests = _manifest_requests(args)
@@ -580,6 +619,7 @@ def _cmd_follow(args: argparse.Namespace) -> int:
             workers=args.workers,
             store_dir=args.store_dir,
             idle_timeout=args.idle_timeout,
+            kernel_backend=args.kernel_backend,
         )
     service = MappingService(
         # The front-end cache layers over the pool's store so the
@@ -739,6 +779,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.client import parse_address
     from repro.serve.server import MappingServer
 
+    _install_kernel_backend(args)
     host, port = parse_address(args.listen)
     weights = {}
     for item in args.tenant_weight:
@@ -755,6 +796,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             store_dir=args.store_dir,
             idle_timeout=args.idle_timeout,
+            kernel_backend=args.kernel_backend,
         )
     store = pool.store if pool is not None else (
         DiskArtifactStore(args.store_dir) if args.store_dir is not None else None
@@ -883,6 +925,27 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"restarts={pool['restarts']} "
             f"healthy={'yes' if pool['healthy'] else 'NO'}"
         )
+        kb = pool.get("kernel_backend")
+        if kb:
+            note = (
+                f" — {kb['fallback_reason']}" if kb.get("fallback_reason") else ""
+            )
+            warm = kb.get("warmup")
+            workers = kb.get("workers") or {}
+            warmed = [w for w in workers.values() if w]
+            if warmed:
+                extra = (
+                    f" warmed_workers={len(warmed)} "
+                    f"warmup_max={max(w['warmup_s'] for w in warmed) * 1e3:.1f} ms"
+                )
+            elif warm:
+                extra = f" warmup={warm['warmup_s'] * 1e3:.1f} ms"
+            else:
+                extra = ""
+            print(
+                f"kernels: backend={kb['backend']} "
+                f"(requested {kb['requested']}){note}{extra}"
+            )
     cache = snapshot.get("cache") or {}
     busy = {
         ns: s for ns, s in cache.items() if s["hits"] or s["misses"] or s["size"]

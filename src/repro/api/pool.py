@@ -79,6 +79,15 @@ class ExecutorPool:
         Byte budget of each process worker's in-memory artifact cache
         (LRU-evicted; ``None`` = unbounded).  Long-lived workers need a
         bound or their caches grow with every distinct workload served.
+    kernel_backend:
+        Kernel-backend request forwarded to the workers (``"numpy"``,
+        ``"numba"``, ``"auto"``; ``None`` = environment/auto).  Worker
+        initializers resolve it and :func:`~repro.kernels.backend.
+        warm_up` the native kernel set exactly once per worker
+        lifetime, so batches never pay JIT compile latency; the thread
+        backend warms in-process on the first spawn.  Warm-up records
+        surface through :meth:`stats` (process workers publish theirs
+        into the pool store's ``runtime`` namespace).
 
     Use as a context manager, or call :meth:`shutdown` explicitly::
 
@@ -97,7 +106,14 @@ class ExecutorPool:
         idle_timeout: Optional[float] = None,
         worker_cache_bytes: Optional[int] = 256 << 20,
         namespaces: frozenset = DEFAULT_PERSIST_NAMESPACES,
+        kernel_backend: Optional[str] = None,
     ) -> None:
+        if kernel_backend is not None:
+            # Fail fast on a typo; unsatisfiable requests (numba absent)
+            # still degrade gracefully at resolve time.
+            from repro.kernels.backend import resolve_backend
+
+            resolve_backend(kernel_backend)
         if backend not in POOL_BACKENDS:
             raise ValueError(
                 f"unknown pool backend {backend!r}; choose from {POOL_BACKENDS}"
@@ -110,6 +126,11 @@ class ExecutorPool:
         self.idle_timeout = idle_timeout
         self.worker_cache_bytes = worker_cache_bytes
         self.namespaces = frozenset(namespaces)
+        self.kernel_backend = kernel_backend
+        #: Parent-side warm-up record (thread backend; None until the
+        #: first executor spawn).  Process workers publish their records
+        #: into the store's ``runtime`` namespace instead.
+        self._kernel_warmup: Optional[dict] = None
         #: Executor spawns over the pool's lifetime (lazy spawn + reap
         #: + reconfigure make this observable; tests pin it).
         self.spawn_count = 0
@@ -315,7 +336,35 @@ class ExecutorPool:
                 and (executor is None or not getattr(executor, "_broken", False)),
                 "active_batches": self._active,
                 "closed": self._closed,
+                "kernel_backend": self.kernel_stats(),
             }
+
+    def kernel_stats(self) -> dict:
+        """Resolved kernel backend + per-worker warm-up records.
+
+        The thread backend carries one in-process record; process
+        workers each publish theirs (keyed by pid) into the pool
+        store's ``runtime`` namespace at initializer time, where the
+        parent collects them — a serve ``stats`` op can therefore
+        confirm what a running worker actually compiled, and that it
+        compiled exactly once per worker lifetime.
+        """
+        from repro.kernels.backend import backend_info
+
+        info = backend_info(self.kernel_backend)
+        with self._lock:
+            parent = self._kernel_warmup
+            store = self._store
+        if parent is not None:
+            info["warmup"] = parent
+        if self.backend == "process" and store is not None:
+            workers = {}
+            for pid in self.worker_pids():
+                record = store.load("runtime", f"kernel-warmup-{pid}")
+                if record is not None:
+                    workers[str(pid)] = record
+            info["workers"] = workers
+        return info
 
     def publish_batch(self, requests: Sequence) -> str:
         """Write a batch's request list to the pool store; returns its key.
@@ -359,6 +408,13 @@ class ExecutorPool:
 
             width = self.workers if self.workers is not None else default_workers()
             if self.backend == "thread":
+                # Thread workers share this process; warm the kernel set
+                # here, once per pool lifetime — the process's JIT state
+                # survives executor reaps and respawns.
+                if self._kernel_warmup is None:
+                    from repro.kernels.backend import set_backend, warm_up
+
+                    self._kernel_warmup = warm_up(set_backend(self.kernel_backend))
                 self._executor = ThreadPoolExecutor(
                     max_workers=width, thread_name_prefix="repro-pool"
                 )
@@ -371,6 +427,7 @@ class ExecutorPool:
                         store.root,
                         sorted(store.namespaces),
                         self.worker_cache_bytes,
+                        self.kernel_backend,
                     ),
                 )
             self.spawn_count += 1
@@ -429,18 +486,36 @@ _WORKER_BATCHES: "OrderedDict[str, tuple]" = OrderedDict()
 
 
 def _persistent_worker_init(
-    store_root: str, namespaces: Sequence[str], cache_bytes: Optional[int]
+    store_root: str,
+    namespaces: Sequence[str],
+    cache_bytes: Optional[int],
+    kernel_backend: Optional[str] = None,
 ) -> None:
-    """Build this worker's long-lived service over the pool's store."""
+    """Build this worker's long-lived service over the pool's store.
+
+    Also resolves the kernel backend and pre-compiles the native kernel
+    set — once per worker lifetime, so no batch this worker ever serves
+    pays JIT latency — and publishes the warm-up record (keyed by pid)
+    into the store's ``runtime`` namespace for the parent's
+    :meth:`ExecutorPool.kernel_stats`.
+    """
     global _WORKER_SERVICE, _WORKER_STORE, _WORKER_BATCHES
     from repro.api.cache import ArtifactCache
     from repro.api.service import MappingService
+    from repro.kernels.backend import set_backend, warm_up
 
     _WORKER_STORE = DiskArtifactStore(store_root, namespaces=frozenset(namespaces))
     _WORKER_SERVICE = MappingService(
         cache=ArtifactCache(store=_WORKER_STORE, max_bytes=cache_bytes)
     )
     _WORKER_BATCHES = OrderedDict()
+    record = warm_up(set_backend(kernel_backend))
+    record["pid"] = os.getpid()
+    record["warmed_at"] = time.time()
+    try:
+        _WORKER_STORE.save("runtime", f"kernel-warmup-{os.getpid()}", record)
+    except OSError:
+        pass  # observability only — never fail a worker over it
 
 
 def _persistent_run_node(

@@ -1,0 +1,345 @@
+"""Pluggable kernel-backend dispatch: NumPy reference vs Numba natives.
+
+The kernel layer keeps exactly one behaviour — the NumPy reference
+implementations in :mod:`repro.kernels` / :mod:`repro.topology.routing`
+/ :mod:`repro.graph.csr` — and this module decides, per process, whether
+the hottest inner loops run through those references or through the
+compiled variants in :mod:`repro.kernels.native`.
+
+Selection order (first hit wins):
+
+1. an explicit backend name (``--kernel-backend``, ``set_backend``,
+   ``ExecutorPool(kernel_backend=...)``),
+2. the ``REPRO_KERNEL_BACKEND`` environment variable,
+3. auto-detection: ``numba`` when importable, else ``numpy``.
+
+Fallback is always graceful: requesting ``numba`` without numba
+installed resolves to ``numpy`` with a recorded reason (never an
+ImportError), and a kernel whose warm-up compile fails is individually
+disabled — its call sites take the NumPy path while the rest of the set
+stays native.  ``numpy`` therefore remains the always-available
+bit-identical reference; the golden tests parametrize over both
+backends to pin the equivalence.
+
+Warm-up
+-------
+:func:`warm_up` compiles every native kernel once with
+representative-dtype arguments and records per-kernel compile times.
+Persistent pool workers call it from their initializer, so serving
+traffic never pays JIT latency and the cost is per *worker lifetime*
+(``@njit(cache=True)`` additionally persists compiled code on disk
+across processes).  The module-level :func:`warmup_count` is the
+observable the warm-once tests pin.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "KERNEL_NAMES",
+    "ENV_VAR",
+    "KernelBackend",
+    "numba_available",
+    "resolve_backend",
+    "backend_info",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "warm_up",
+    "warmup_count",
+]
+
+#: Backends a process can select.
+KERNEL_BACKENDS: Tuple[str, ...] = ("numpy", "numba")
+
+#: Environment variable consulted when no explicit backend is given.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Dispatch slots — one per escalated kernel.  ``None`` in a slot means
+#: "take the NumPy reference path" at that call site.
+KERNEL_NAMES: Tuple[str, ...] = (
+    "hops_gather",
+    "hops_row",
+    "expand_frontier_csr",
+    "expand_frontier_padded",
+    "swap_gains",
+    "verdicts",
+    "comm_index",
+    "accumulate_loads",
+    "splice_routes",
+)
+
+_availability: Optional[bool] = None
+
+
+def numba_available() -> bool:
+    """Whether the optional numba dependency imports (probed once)."""
+    global _availability
+    if _availability is None:
+        try:
+            import numba  # noqa: F401
+
+            _availability = True
+        except Exception:
+            _availability = False
+    return _availability
+
+
+class KernelBackend:
+    """One resolved backend: a name plus per-kernel dispatch slots.
+
+    Call sites read the slots directly (``get_backend().verdicts``);
+    a ``None`` slot routes to the NumPy reference.  ``numpy`` backends
+    carry all-``None`` slots by construction.
+    """
+
+    __slots__ = ("name", "requested", "fallback_reason", "warmup") + KERNEL_NAMES
+
+    def __init__(
+        self,
+        name: str,
+        requested: str,
+        fallback_reason: Optional[str] = None,
+        kernels: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.requested = requested
+        self.fallback_reason = fallback_reason
+        #: Per-kernel warm-up record of the last :func:`warm_up` pass
+        #: over this backend (None until warmed).
+        self.warmup: Optional[dict] = None
+        kernels = kernels or {}
+        for slot in KERNEL_NAMES:
+            setattr(self, slot, kernels.get(slot))
+
+    def info(self) -> dict:
+        """JSON-ready description (CLI ``list``/``stats``, pool stats)."""
+        return {
+            "backend": self.name,
+            "requested": self.requested,
+            "fallback_reason": self.fallback_reason,
+            "numba_available": numba_available(),
+            "native_kernels": [
+                slot for slot in KERNEL_NAMES if getattr(self, slot) is not None
+            ],
+            "warmup": self.warmup,
+        }
+
+
+def resolve_backend(name: Optional[str] = None) -> Tuple[str, str, Optional[str]]:
+    """``(resolved, requested, fallback_reason)`` of a backend choice.
+
+    *name* ``None`` consults :data:`ENV_VAR`, then auto-detects.  An
+    unknown name raises; an unsatisfiable ``numba`` request degrades to
+    ``numpy`` with the reason recorded instead of raising, so optional
+    acceleration can never break a deployment.
+    """
+    requested = name if name is not None else os.environ.get(ENV_VAR) or "auto"
+    requested = str(requested).strip().lower()
+    if requested not in KERNEL_BACKENDS + ("auto",):
+        raise ValueError(
+            f"unknown kernel backend {requested!r}; "
+            f"choose from {('auto',) + KERNEL_BACKENDS}"
+        )
+    if requested == "numpy":
+        return "numpy", requested, None
+    if numba_available():
+        return "numba", requested, None
+    reason = (
+        "numba is not installed (pip install -e .[native]); using numpy"
+        if requested == "numba"
+        else None
+    )
+    return "numpy", requested, reason
+
+
+def backend_info(name: Optional[str] = None) -> dict:
+    """Resolve *name* without installing it — observability helper."""
+    resolved, requested, reason = resolve_backend(name)
+    return {
+        "backend": resolved,
+        "requested": requested,
+        "fallback_reason": reason,
+        "numba_available": numba_available(),
+    }
+
+
+def _build_backend(name: Optional[str]) -> KernelBackend:
+    resolved, requested, reason = resolve_backend(name)
+    if resolved != "numba":
+        return KernelBackend("numpy", requested, reason)
+    try:
+        from repro.kernels import native
+    except Exception as exc:  # pragma: no cover - broken numba install
+        return KernelBackend(
+            "numpy", requested, f"native kernels failed to import: {exc!r}"
+        )
+    kernels = {slot: getattr(native, slot) for slot in KERNEL_NAMES}
+    return KernelBackend("numba", requested, None, kernels)
+
+
+_lock = threading.Lock()
+_active: Optional[KernelBackend] = None
+_warmup_count = 0
+
+
+def get_backend() -> KernelBackend:
+    """The process-wide active backend (resolved lazily on first use)."""
+    backend = _active
+    if backend is None:
+        with _lock:
+            backend = _active
+            if backend is None:
+                backend = set_backend(None)
+    return backend
+
+
+def set_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve and install the active backend; returns it.
+
+    ``None`` re-resolves from the environment (useful after changing
+    :data:`ENV_VAR`).  Installation is process-wide: every dispatching
+    call site sees the new backend on its next call.
+    """
+    global _active
+    backend = _build_backend(name)
+    _active = backend
+    return backend
+
+
+@contextmanager
+def use_backend(name: Optional[str]):
+    """Temporarily install a backend (tests, benchmarks).
+
+    Also mirrors the request into :data:`ENV_VAR` so process-pool
+    workers spawned inside the block inherit the same choice; both the
+    active backend and the environment are restored on exit.
+    """
+    global _active
+    prev_backend = _active
+    prev_env = os.environ.get(ENV_VAR)
+    backend = set_backend(name)
+    if name is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = str(name)
+    try:
+        yield backend
+    finally:
+        if prev_env is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = prev_env
+        _active = prev_backend
+
+
+def warmup_count() -> int:
+    """Warm-up passes performed in this process (per-lifetime observable)."""
+    return _warmup_count
+
+
+def _warm_inputs() -> dict:
+    """Representative-dtype arguments, one tiny call per kernel slot.
+
+    Dtypes mirror the production call sites exactly (int16 hop matrix,
+    int32 CSR indices, int64 ids/pointers, float64 weights/loads) so
+    the warm-up compile is the signature serving traffic hits.
+    """
+    matrix = np.zeros((3, 3), dtype=np.int16)
+    ids = np.asarray([0, 1], dtype=np.int64)
+    indptr = np.asarray([0, 1, 2], dtype=np.int64)
+    indices = np.asarray([1, 0], dtype=np.int32)
+    weights = np.ones(2, dtype=np.float64)
+    gamma = np.asarray([0, 1], dtype=np.int64)
+    frontier = np.asarray([0], dtype=np.int64)
+    pad = np.asarray([[1], [0]], dtype=np.int32)
+    f64 = np.asarray([1.0, -1.0], dtype=np.float64)
+    ones = np.ones(2, dtype=np.float64)
+    bounds = np.asarray([0, 2], dtype=np.int64)
+    return {
+        "hops_gather": (matrix, ids, ids[::-1].copy()),
+        "hops_row": (matrix[0], ids),
+        "expand_frontier_csr": (
+            indptr,
+            indices,
+            frontier,
+            np.asarray([True, False]),
+        ),
+        "expand_frontier_padded": (pad, frontier, np.asarray([True, False])),
+        "swap_gains": (indptr, indices, weights, gamma, matrix, 0, 0, ids[1:], 0.0),
+        "verdicts": (
+            ids,
+            f64,
+            f64,
+            bounds,
+            ones,
+            ones,
+            ones,
+            ones,
+            1.0,
+            1.0,
+            0,
+            2.0,
+            2,
+            True,
+            1e-9,
+        ),
+        "comm_index": (ids, np.asarray([0, 0], dtype=np.int64), ids, ids[::-1].copy(), 2),
+        "accumulate_loads": (bounds, ids, ones[:1], 2),
+        "splice_routes": (indptr, ids, ids[:1], ids[1:], np.asarray([1], dtype=np.int64)),
+    }
+
+
+def warm_up(backend: Optional[KernelBackend] = None) -> dict:
+    """Compile every native kernel once; returns the warm-up record.
+
+    Slots whose compile fails are disabled individually (set to
+    ``None`` → NumPy path) with the error recorded, keeping partial
+    acceleration over hard failure.  On the ``numpy`` backend this is
+    a cheap no-op that still bumps :func:`warmup_count`, so the
+    warm-once lifecycle is observable without numba installed.
+    """
+    global _warmup_count
+    be = backend if backend is not None else get_backend()
+    t0 = time.perf_counter()
+    kernels: dict = {}
+    if be.name == "numba":
+        for slot, args in _warm_inputs().items():
+            fn = getattr(be, slot)
+            if fn is None:
+                continue
+            k0 = time.perf_counter()
+            try:
+                fn(*args)
+            except Exception as exc:
+                setattr(be, slot, None)
+                kernels[slot] = {
+                    "compiled": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            else:
+                kernels[slot] = {
+                    "compiled": True,
+                    "compile_s": time.perf_counter() - k0,
+                }
+    with _lock:
+        _warmup_count += 1
+        seq = _warmup_count
+    record = {
+        "backend": be.name,
+        "requested": be.requested,
+        "fallback_reason": be.fallback_reason,
+        "warmup_s": time.perf_counter() - t0,
+        "kernels": kernels,
+        "seq": seq,
+    }
+    be.warmup = record
+    return record

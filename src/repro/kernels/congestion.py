@@ -40,6 +40,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.kernels.backend import get_backend
 from repro.topology.routing import RouteTable, _ranges, routes_bulk
 from repro.topology.torus import Torus3D
 
@@ -156,6 +157,12 @@ class CongestionModel:
         self.msgs, self.vols = self.routes.accumulate(self.vol)
         edge_of_entry = self.routes.pair_of_entry()
         links = self.routes.links
+        fn = get_backend().comm_index
+        if fn is not None:
+            self._comm_ptr, self._comm_tasks = fn(
+                links, edge_of_entry, self.src_t, self.dst_t, self.torus.num_links
+            )
+            return
         order = np.argsort(links, kind="stable")
         links_final = links[order]
         edges_final = edge_of_entry[order]
@@ -301,8 +308,11 @@ class CongestionModel:
         if links.size == 0:
             return False
         load, mc, ac, top, total_base, base_used = self._probe_context()
-        return self._verdict(
-            links, dm, dv, load, mc, ac, top, total_base, base_used
+        bounds = np.asarray([0, links.shape[0]], dtype=np.int64)
+        return bool(
+            self._verdicts(
+                links, dm, dv, bounds, load, mc, ac, top, total_base, base_used
+            )[0]
         )
 
     def _verdict(
@@ -352,6 +362,56 @@ class CongestionModel:
             total_new = total_base + float(dv.sum())
         new_ac = total_new / used_new if used_new else 0.0
         return new_ac < ac - _EPS
+
+    def _verdicts(
+        self,
+        ul: np.ndarray,
+        dm: np.ndarray,
+        dv: np.ndarray,
+        bounds: np.ndarray,
+        load: np.ndarray,
+        mc: float,
+        ac: float,
+        top: int,
+        total_base: float,
+        base_used: int,
+    ) -> np.ndarray:
+        """Accept verdicts of many candidates (``bounds`` slices ul/dm/dv).
+
+        The single dispatch point of the accept rule: the scalar probe
+        (:meth:`swap_improves`, K=1) and the batched Δ-kernel
+        (:meth:`evaluate_swaps`) both land here, so within one process
+        the two paths always share the exact same arithmetic — native
+        when the kernel backend carries a compiled ``verdicts``, the
+        per-candidate :meth:`_verdict` reference otherwise.
+        """
+        fn = get_backend().verdicts
+        if fn is not None:
+            return fn(
+                ul,
+                dm,
+                dv,
+                bounds,
+                self.vols,
+                self.msgs,
+                self._inv_bw,
+                load,
+                float(mc),
+                float(ac),
+                int(top),
+                float(total_base),
+                int(base_used),
+                self.metric == "volume",
+                _EPS,
+            )
+        K = bounds.shape[0] - 1
+        out = np.zeros(K, dtype=bool)
+        for k in range(K):
+            s, e = bounds[k], bounds[k + 1]
+            out[k] = self._verdict(
+                ul[s:e], dm[s:e], dv[s:e], load, mc, ac, top, total_base, base_used
+            )
+        return out
 
     # ------------------------------------------------------------------
     # batched candidate evaluation (the Δ-kernel)
@@ -464,14 +524,11 @@ class CongestionModel:
             "sorted_new_links": links_n[order_n],
         }
 
-        # -- verdicts (scalar rule per candidate; K ≤ Δ) ---------------
+        # -- verdicts (accept rule per candidate; K ≤ Δ) ---------------
         load, mc, ac, top, total_base, base_used = self._probe_context()
-        for k in range(K):
-            s, e = bounds[k], bounds[k + 1]
-            out[k] = self._verdict(
-                ul[s:e], dm[s:e], dv[s:e], load, mc, ac, top, total_base, base_used
-            )
-        return out
+        return self._verdicts(
+            ul, dm, dv, bounds, load, mc, ac, top, total_base, base_used
+        )
 
     # ------------------------------------------------------------------
     # commits

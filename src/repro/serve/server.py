@@ -50,6 +50,7 @@ from collections import OrderedDict, deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.aio import AsyncMappingService
+from repro.kernels.backend import backend_info
 from repro.serve.metrics import LatencyHistogram, RollingWindow
 from repro.serve.protocol import (
     ProtocolError,
@@ -698,6 +699,14 @@ class MappingServer:
             "latency": {name: h.summary() for name, h in self.latency.items()},
             "aio": self.aio.stats(),
             "pool": self.pool.stats() if self.pool is not None else None,
+            # Poolless (serial) deployments still report which kernel tier
+            # serves their requests; with a pool the richer per-worker
+            # record rides along under pool.kernel_backend.
+            "kernel_backend": (
+                self.pool.kernel_stats()
+                if self.pool is not None
+                else backend_info()
+            ),
             "cache": cache_stats,
         }
 

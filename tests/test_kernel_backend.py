@@ -1,0 +1,282 @@
+"""Tests for the pluggable kernel-backend layer.
+
+Pins the contracts of :mod:`repro.kernels.backend`:
+
+* selection order — explicit name beats ``REPRO_KERNEL_BACKEND`` beats
+  auto-detection — with unknown names rejected and unsatisfiable
+  ``numba`` requests degrading to ``numpy`` with a recorded reason;
+* dispatch parity — the kernels behind ``get_backend()`` reproduce the
+  NumPy reference bit for bit on every backend (the golden and
+  congestion property suites cross the same axis at system level);
+* the warm-up lifecycle — :func:`warm_up` compiles the native set and
+  bumps the per-process counter, and :class:`ExecutorPool` warms
+  exactly **once per worker lifetime**: a second batch through the same
+  pool must not re-warm (the no-JIT-re-warm-up acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutorPool, MappingService, MapRequest
+from repro.graph.csr import CSRGraph, expand_frontier
+from repro.graph.task_graph import TaskGraph
+from repro.kernels import backend as backend_mod
+from repro.kernels.backend import (
+    ENV_VAR,
+    KERNEL_BACKENDS,
+    KERNEL_NAMES,
+    backend_info,
+    get_backend,
+    numba_available,
+    resolve_backend,
+    set_backend,
+    use_backend,
+    warm_up,
+    warmup_count,
+)
+from repro.kernels.hoptable import hop_table_for
+from repro.topology.allocation import AllocationSpec, SparseAllocator
+from repro.topology.torus import Torus3D
+
+needs_numba = pytest.mark.skipif(
+    not numba_available(),
+    reason="numba is not installed (pip install -e .[native])",
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Leave the process-wide backend and env exactly as found."""
+    prev_active = backend_mod._active
+    prev_env = os.environ.get(ENV_VAR)
+    yield
+    backend_mod._active = prev_active
+    if prev_env is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = prev_env
+
+
+class TestResolution:
+    def test_explicit_name_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numba")
+        assert resolve_backend("numpy") == ("numpy", "numpy", None)
+
+    def test_environment_beats_auto(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        resolved, requested, reason = resolve_backend(None)
+        assert (resolved, requested, reason) == ("numpy", "numpy", None)
+
+    def test_auto_detects_from_availability(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        resolved, requested, reason = resolve_backend(None)
+        assert requested == "auto"
+        assert resolved == ("numba" if numba_available() else "numpy")
+        assert reason is None  # auto never reports a fallback
+
+    def test_unknown_name_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("gpu")
+        monkeypatch.setenv(ENV_VAR, "cuda")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend(None)
+
+    def test_unsatisfiable_numba_degrades_with_reason(self):
+        resolved, requested, reason = resolve_backend("numba")
+        assert requested == "numba"
+        if numba_available():
+            assert resolved == "numba" and reason is None
+        else:
+            assert resolved == "numpy"
+            assert "numba is not installed" in reason
+
+    def test_backend_info_shape(self):
+        info = backend_info("numpy")
+        assert info["backend"] == "numpy"
+        assert info["requested"] == "numpy"
+        assert info["fallback_reason"] is None
+        assert info["numba_available"] == numba_available()
+
+
+class TestActiveBackend:
+    def test_numpy_backend_has_no_native_slots(self):
+        be = set_backend("numpy")
+        assert be.name == "numpy"
+        assert all(getattr(be, slot) is None for slot in KERNEL_NAMES)
+        assert be.info()["native_kernels"] == []
+
+    @needs_numba
+    def test_numba_backend_fills_every_slot(self):
+        be = set_backend("numba")
+        assert be.name == "numba"
+        assert all(getattr(be, slot) is not None for slot in KERNEL_NAMES)
+        assert be.info()["native_kernels"] == list(KERNEL_NAMES)
+
+    def test_use_backend_mirrors_env_and_restores(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        outer = set_backend("numpy")
+        with use_backend("numpy") as be:
+            assert be.name == "numpy"
+            assert os.environ[ENV_VAR] == "numpy"
+            assert get_backend() is be
+        assert ENV_VAR not in os.environ
+        assert get_backend() is outer
+
+    def test_get_backend_resolves_lazily(self):
+        backend_mod._active = None
+        assert get_backend().name in KERNEL_BACKENDS
+
+
+class TestWarmUp:
+    def test_warm_up_bumps_counter_and_records(self):
+        before = warmup_count()
+        be = set_backend("numpy")
+        record = warm_up(be)
+        assert warmup_count() == before + 1
+        assert record["backend"] == "numpy"
+        assert record["requested"] == "numpy"
+        assert record["warmup_s"] >= 0.0
+        assert record["kernels"] == {}  # nothing to compile on numpy
+        assert record["seq"] == before + 1
+        assert be.warmup is record
+
+    @needs_numba
+    def test_warm_up_compiles_every_native_kernel(self):
+        record = warm_up(set_backend("numba"))
+        assert set(record["kernels"]) == set(KERNEL_NAMES)
+        for slot, entry in record["kernels"].items():
+            assert entry["compiled"], f"{slot}: {entry}"
+            assert entry["compile_s"] >= 0.0
+
+
+class TestDispatchParity:
+    """Direct per-kernel parity on whatever backend the axis supplies.
+
+    The nested ``use_backend("numpy")`` gives the in-test reference, so
+    on the numba leg this compares native output against the NumPy path
+    on identical inputs.
+    """
+
+    def test_expand_frontier_matches_reference(self, kernel_backend):
+        rng = np.random.default_rng(5)
+        n, m = 40, 160
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        keep = src != dst
+        graph = CSRGraph.from_edges(
+            n, src[keep], dst[keep], np.ones(int(keep.sum()))
+        ).symmetrized()
+        seen = np.zeros(n, dtype=bool)
+        frontier = np.asarray([0, 3], dtype=np.int64)
+        seen[frontier] = True
+        seen_ref = seen.copy()
+        got = expand_frontier(graph, frontier, seen)
+        with use_backend("numpy"):
+            want = expand_frontier(graph, frontier, seen_ref)
+        np.testing.assert_array_equal(got, want)
+        np.testing.assert_array_equal(seen, seen_ref)
+
+    def test_hop_table_dispatch_matches_reference(self, kernel_backend):
+        table = hop_table_for(Torus3D((4, 3, 3)))
+        rng = np.random.default_rng(9)
+        a = rng.integers(0, 36, 50).astype(np.int64)
+        b = rng.integers(0, 36, 50).astype(np.int64)
+        got_pair = table.pairwise_hops(a, b)
+        got_row = table.hops_to_many(7, b)
+        with use_backend("numpy"):
+            np.testing.assert_array_equal(got_pair, table.pairwise_hops(a, b))
+            np.testing.assert_array_equal(got_row, table.hops_to_many(7, b))
+
+
+@pytest.fixture()
+def workload():
+    """24-rank task graph on 8 nodes × 3 processors (4x4x2 torus)."""
+    torus = Torus3D((4, 4, 2))
+    machine = SparseAllocator(torus).allocate(
+        AllocationSpec(num_nodes=8, procs_per_node=3, fragmentation=0.3, seed=4)
+    )
+    rng = np.random.default_rng(7)
+    n, m = 24, 160
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    keep = src != dst
+    tg = TaskGraph.from_edges(
+        n, src[keep], dst[keep], rng.integers(1, 6, int(keep.sum())).astype(float)
+    )
+    return MapRequest(
+        task_graph=tg, machine=machine, algorithms=("UG", "UWH"), seed=2,
+        evaluate=True,
+    )
+
+
+class TestPoolWarmup:
+    def test_rejects_unknown_kernel_backend(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            ExecutorPool("thread", kernel_backend="gpu")
+
+    def test_thread_pool_warms_once_per_lifetime(self, workload):
+        """Two batches, one warm-up: no JIT re-warm on the second batch."""
+        before = warmup_count()
+        with ExecutorPool("thread", workers=2, kernel_backend="numpy") as pool:
+            service = MappingService(pool=pool)
+            assert warmup_count() == before  # lazy: no spawn, no warm-up
+            service.map_batch(workload)
+            assert warmup_count() == before + 1
+            first = pool.stats()["kernel_backend"]
+            service.map_batch(workload)
+            assert warmup_count() == before + 1, "second batch re-warmed"
+            second = pool.stats()["kernel_backend"]
+        assert first["backend"] == "numpy"
+        assert first["warmup"]["seq"] == before + 1
+        assert second["warmup"] == first["warmup"]
+
+    def test_thread_warmup_survives_executor_respawn(self, workload):
+        """JIT state is process-wide: a torn-down-and-respawned executor
+        must not re-warm — the warm-up is per *pool* lifetime, not per
+        executor spawn."""
+        before = warmup_count()
+        with ExecutorPool("thread", workers=2, kernel_backend="numpy") as pool:
+            service = MappingService(pool=pool)
+            service.map_batch(workload)
+            assert pool.configure(workers=3) is True  # tears workers down
+            assert not pool.executor_alive
+            service.map_batch(workload)
+            assert pool.spawn_count == 2
+            assert warmup_count() == before + 1
+
+    def test_process_workers_warm_once_per_lifetime(self, workload):
+        """Worker initializers warm exactly once; batches never re-warm."""
+        with ExecutorPool("process", workers=2, kernel_backend="numpy") as pool:
+            service = MappingService(pool=pool)
+            service.map_batch(workload)
+            first = pool.kernel_stats()
+            service.map_batch(workload)
+            second = pool.kernel_stats()
+            assert pool.spawn_count == 1
+        assert first["backend"] == "numpy"
+        workers = first["workers"]
+        assert workers, "no worker published a warm-up record"
+        for pid, record in workers.items():
+            assert record["pid"] == int(pid)
+            assert record["backend"] == "numpy"
+            assert record["warmup_s"] >= 0.0
+        # Identical records after batch 2 — same pids, same ``warmed_at``
+        # timestamps, same warm-up sequence numbers: no worker was
+        # re-initialized and none re-warmed between batches.  (``seq``
+        # is not asserted to be 1: fork-started workers inherit the
+        # parent process's warm-up counter.)
+        assert second["workers"] == workers
+
+    @needs_numba
+    def test_process_workers_compile_native_set(self, workload):
+        with ExecutorPool("process", workers=2, kernel_backend="numba") as pool:
+            MappingService(pool=pool).map_batch(workload)
+            stats = pool.kernel_stats()
+        assert stats["backend"] == "numba"
+        for record in stats["workers"].values():
+            assert set(record["kernels"]) == set(KERNEL_NAMES)
+            assert all(k["compiled"] for k in record["kernels"].values())

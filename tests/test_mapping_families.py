@@ -102,8 +102,14 @@ def _assert_matches_golden(responses, golden):
 
 
 @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
-def test_family_goldens_on_every_backend(golden, backend):
-    """HIER/SFC goldens are byte-identical on all execution backends."""
+def test_family_goldens_on_every_backend(golden, backend, kernel_backend):
+    """HIER/SFC goldens are byte-identical on all execution backends.
+
+    Crossed with the kernel-backend axis: the numba kernels must
+    reproduce the goldens bit for bit on every execution backend too
+    (``use_backend`` mirrors the choice into the environment, so the
+    process backend's workers inherit it).
+    """
     responses = MappingService().map_batch(
         _scenario_requests(), backend=backend, workers=2
     )

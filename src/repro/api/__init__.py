@@ -69,6 +69,13 @@ from repro.api.executor import BACKENDS, execute_plan
 from repro.api.fault import FaultInjector, InjectedFault, PlanError, RetryPolicy
 from repro.api.plan import Plan, PlanNode, build_plan
 from repro.api.pool import POOL_BACKENDS, ExecutorPool
+from repro.api.shm import (
+    STORE_TIERS,
+    SharedMemoryStore,
+    TieredArtifactStore,
+    make_store,
+    shm_available,
+)
 from repro.api.store import DiskArtifactStore
 from repro.api.registry import (
     MapperRegistrationError,
@@ -99,6 +106,11 @@ __all__ = [
     "BACKENDS",
     "CacheStats",
     "DiskArtifactStore",
+    "SharedMemoryStore",
+    "TieredArtifactStore",
+    "make_store",
+    "shm_available",
+    "STORE_TIERS",
     "ExecutorPool",
     "FaultInjector",
     "InjectedFault",

@@ -281,7 +281,11 @@ class ArtifactCache:
         with self._mutex:
             stats = self._stats.setdefault(namespace, CacheStats())
             self._insert((namespace, key), value, stats)
-        self._write_through(namespace, key, value)
+        # force=True: unlike get_or_compute results (deterministic in
+        # their key, so an existing file is already correct), a direct
+        # put may revise an entry — the DEF baseline's lazily filled
+        # metrics — and must reach disk even when the path exists.
+        self._write_through(namespace, key, value, force=True)
 
     def __contains__(self, full_key: Tuple[str, Hashable]) -> bool:
         with self._mutex:
@@ -295,7 +299,9 @@ class ArtifactCache:
             return _MISSING
         return self.store.load(namespace, key, default=_MISSING)
 
-    def _write_through(self, namespace: str, key: Hashable, value: Any) -> None:
+    def _write_through(
+        self, namespace: str, key: Hashable, value: Any, *, force: bool = False
+    ) -> None:
         """Persist to the layered store; failures degrade, never abort.
 
         The store is an optimization layer: a full disk, a permission
@@ -307,7 +313,7 @@ class ArtifactCache:
         if self.store is None or namespace not in self.store.namespaces:
             return
         try:
-            self.store.save(namespace, key, value)
+            self.store.save(namespace, key, value, force=force)
         except Exception:
             with self._mutex:
                 self._stats.setdefault(namespace, CacheStats()).store_errors += 1
@@ -362,6 +368,18 @@ class ArtifactCache:
             if namespace is not None:
                 return self._stats.setdefault(namespace, CacheStats())
             return dict(self._stats)
+
+    def store_stats(self) -> Optional[dict]:
+        """The layered store's tier/I-O counters (None when unlayered).
+
+        The tiered read path is memory LRU (this cache) → shm → disk;
+        this exposes the two lower tiers' side of it — segment counts
+        and bytes for shm, load/save/skip counters for disk.
+        """
+        store = self.store
+        if store is None or not hasattr(store, "stats"):
+            return None
+        return store.stats()
 
     def clear(self, namespace: Optional[str] = None) -> None:
         """Drop all in-memory artifacts, or only one namespace's.

@@ -80,7 +80,7 @@ from repro.api.executor import BACKENDS
 from repro.api.registry import UnknownMapperError, get_spec, registered_mappers
 from repro.api.request import MapRequest
 from repro.api.service import MappingService
-from repro.api.store import DiskArtifactStore
+from repro.api.shm import STORE_TIERS, make_store
 from repro.data.corpus import CORPUS
 from repro.kernels.backend import (
     ENV_VAR as KERNEL_ENV_VAR,
@@ -314,6 +314,15 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         "route tables and DEF baselines across runs and pool workers)",
     )
     parser.add_argument(
+        "--store-tier",
+        default="auto",
+        choices=STORE_TIERS,
+        help="artifact store tier: shm (shared-memory segments + disk "
+        "write-through; pool workers attach arrays zero-copy), disk "
+        "(files only), or auto-detect (default; shm where "
+        "/dev/shm-style segments work, disk elsewhere)",
+    )
+    parser.add_argument(
         "--retries",
         type=int,
         default=None,
@@ -393,7 +402,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _build_service(args: argparse.Namespace) -> MappingService:
     """Service wired to the CLI's cache bounds, store and backend flags."""
     store = (
-        DiskArtifactStore(args.store_dir) if args.store_dir is not None else None
+        make_store(args.store_dir, tier=args.store_tier)
+        if args.store_dir is not None
+        else None
     )
     return MappingService(
         cache=ArtifactCache(
@@ -447,6 +458,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
             delta=args.delta,
             evaluate=True,
         ),
+        store_tier=args.store_tier,
         **_fault_kwargs(args),
     )
 
@@ -485,6 +497,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
                     ns: service.cache.store.file_count(ns)
                     for ns in sorted(service.cache.store.namespaces)
                 }
+                payload["store_stats"] = service.cache.store.stats()
         print(json.dumps(payload, indent=1))
         return 0
 
@@ -543,7 +556,9 @@ def _cmd_map_batch(args: argparse.Namespace) -> int:
     requests = _manifest_requests(args)
     service = _build_service(args)
     t0 = time.perf_counter()
-    responses = service.map_batch(requests, **_fault_kwargs(args))
+    responses = service.map_batch(
+        requests, store_tier=args.store_tier, **_fault_kwargs(args)
+    )
     elapsed = time.perf_counter() - t0
     errors = sum(1 for r in responses if not r.ok)
     summary = {
@@ -568,6 +583,7 @@ def _cmd_map_batch(args: argparse.Namespace) -> int:
                     ns: service.cache.store.file_count(ns)
                     for ns in sorted(service.cache.store.namespaces)
                 }
+                payload["store_stats"] = service.cache.store.stats()
         print(json.dumps(payload, indent=1))
         return 0
 
@@ -620,6 +636,7 @@ def _cmd_follow(args: argparse.Namespace) -> int:
             store_dir=args.store_dir,
             idle_timeout=args.idle_timeout,
             kernel_backend=args.kernel_backend,
+            store_tier=args.store_tier,
         )
     service = MappingService(
         # The front-end cache layers over the pool's store so the
@@ -676,7 +693,11 @@ def _cmd_follow(args: argparse.Namespace) -> int:
                 state["in_batch"] = True
                 try:
                     t0 = time.perf_counter()
-                    responses = service.map_batch(requests, **fault_kwargs)
+                    responses = service.map_batch(
+                        requests,
+                        store_tier=args.store_tier,
+                        **fault_kwargs,
+                    )
                     elapsed = time.perf_counter() - t0
                 finally:
                     state["in_batch"] = False
@@ -797,9 +818,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             store_dir=args.store_dir,
             idle_timeout=args.idle_timeout,
             kernel_backend=args.kernel_backend,
+            store_tier=args.store_tier,
         )
     store = pool.store if pool is not None else (
-        DiskArtifactStore(args.store_dir) if args.store_dir is not None else None
+        make_store(args.store_dir, tier=args.store_tier)
+        if args.store_dir is not None
+        else None
     )
     snapshot: dict = {}
 
@@ -999,7 +1023,16 @@ def _print_stats(service: MappingService, backend: str) -> None:
         summary = (
             ", ".join(f"{ns}: {n}" for ns, n in counts.items()) or "(empty)"
         )
-        print(f"Artifact store ({store.root}): {summary}")
+        tier = getattr(store, "tier", "disk")
+        print(f"Artifact store ({store.root}, tier={tier}): {summary}")
+        stats = store.stats() if hasattr(store, "stats") else {}
+        shm = stats.get("shm")
+        if shm:
+            print(
+                f"Shared memory: {shm.get('segments', 0)} segments, "
+                f"{shm.get('segment_bytes', 0)} bytes "
+                f"({shm.get('loads', 0)} loads, {shm.get('load_hits', 0)} hits)"
+            )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

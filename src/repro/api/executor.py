@@ -95,6 +95,7 @@ def execute_plan(
     retry: Optional[RetryPolicy] = None,
     node_timeout: Optional[float] = None,
     on_error: str = "raise",
+    store_tier: str = "auto",
 ) -> List[MapResponse]:
     """Run *plan* on *backend*; responses return in request order.
 
@@ -141,6 +142,11 @@ def execute_plan(
         :class:`~repro.api.fault.PlanError` outcomes: affected responses
         come back with :attr:`MapResponse.error` set, every other
         request still succeeds.
+    store_tier:
+        Artifact-store tier for the ``process`` backend's batch-scoped
+        store (``auto``/``shm``/``disk``; see :func:`repro.api.shm.
+        make_store`).  A store attached to the service cache keeps its
+        own tier; pooled runs use the pool store's.
     """
     if on_error not in ("raise", "partial"):
         raise ValueError("on_error must be 'raise' or 'partial'")
@@ -158,7 +164,9 @@ def execute_plan(
     elif backend == "thread":
         outcomes = _run_threaded(plan, service, workers, fault_kw)
     else:
-        outcomes = _run_process(plan, service, workers, store_dir, fault_kw)
+        outcomes = _run_process(
+            plan, service, workers, store_dir, fault_kw, store_tier
+        )
     return _collect(plan, outcomes)
 
 
@@ -294,19 +302,32 @@ def _run_process(
     workers: Optional[int],
     store_dir: Optional[str],
     fault_kw: dict,
+    store_tier: str = "auto",
 ) -> List:
+    from repro.api.shm import make_store
     from repro.api.store import DEFAULT_PERSIST_NAMESPACES
 
     namespaces = DEFAULT_PERSIST_NAMESPACES
     tmp: Optional[tempfile.TemporaryDirectory] = None
-    if store_dir is None:
-        attached = getattr(service.cache, "store", None)
-        if attached is not None:
-            store_dir = attached.root
-            namespaces = attached.namespaces
-        else:
+    owned_store = None
+    attached = getattr(service.cache, "store", None) if store_dir is None else None
+    if attached is not None:
+        store_dir = attached.root
+        namespaces = attached.namespaces
+        # Workers join the attached store's resolved tier so parent and
+        # children agree on where artifacts live; the attached store's
+        # owner reaps its segments.
+        store_tier = getattr(attached, "tier", "disk")
+    else:
+        if store_dir is None:
             tmp = tempfile.TemporaryDirectory(prefix="repro-artifacts-")
             store_dir = tmp.name
+        # The batch-scoped parent owns the root for this run; closing it
+        # below reaps any shm segments the workers published.
+        owned_store = make_store(
+            store_dir, tier=store_tier, namespaces=namespaces, owner=True
+        )
+        store_tier = owned_store.tier
     try:
         with ProcessPoolExecutor(
             max_workers=workers or default_workers(),
@@ -315,7 +336,7 @@ def _run_process(
             # instead of once per node — a request's task graph and
             # machine would otherwise cross the IPC boundary for every
             # one of its algorithms.
-            initargs=(store_dir, sorted(namespaces), plan.requests),
+            initargs=(store_dir, sorted(namespaces), plan.requests, store_tier),
         ) as pool:
 
             def submit(node: PlanNode):
@@ -333,6 +354,8 @@ def _run_process(
                 plan, submit, serial_run=_serial_fallback(plan, service), **fault_kw
             )
     finally:
+        if owned_store is not None and hasattr(owned_store, "close"):
+            owned_store.close()
         if tmp is not None:
             tmp.cleanup()
 
@@ -753,14 +776,23 @@ def _process_worker_init(
     store_dir: str,
     namespaces: Sequence[str],
     requests: Sequence[MapRequest],
+    store_tier: str = "disk",
 ) -> None:
     """Build this worker's service over the shared cross-process store."""
     global _WORKER_SERVICE, _WORKER_REQUESTS
     from repro.api.cache import ArtifactCache
     from repro.api.service import MappingService
-    from repro.api.store import DiskArtifactStore
+    from repro.api.shm import make_store
 
-    store = DiskArtifactStore(store_dir, namespaces=frozenset(namespaces))
+    # owner=False: batch-scoped workers must not reap segments their
+    # siblings still read; the parent (or the attached store's owner)
+    # does.
+    store = make_store(
+        store_dir,
+        tier=store_tier,
+        namespaces=frozenset(namespaces),
+        owner=False,
+    )
     _WORKER_SERVICE = MappingService(cache=ArtifactCache(store=store))
     _WORKER_REQUESTS = tuple(requests)
 

@@ -47,6 +47,7 @@ from contextlib import contextmanager
 from itertools import count
 from typing import List, Optional, Sequence, Tuple
 
+from repro.api.shm import STORE_TIERS, make_store
 from repro.api.store import DEFAULT_PERSIST_NAMESPACES, DiskArtifactStore
 
 __all__ = ["ExecutorPool", "POOL_BACKENDS"]
@@ -88,6 +89,12 @@ class ExecutorPool:
         backend warms in-process on the first spawn.  Warm-up records
         surface through :meth:`stats` (process workers publish theirs
         into the pool store's ``runtime`` namespace).
+    store_tier:
+        ``"auto"`` (default) layers a shared-memory tier over the disk
+        store when the host supports it, so warm artifacts and batch
+        payloads move between workers as mapped segments instead of
+        ``.npz`` round-trips; ``"shm"`` insists (raising where
+        unsupported); ``"disk"`` keeps the plain disk store.
 
     Use as a context manager, or call :meth:`shutdown` explicitly::
 
@@ -107,6 +114,7 @@ class ExecutorPool:
         worker_cache_bytes: Optional[int] = 256 << 20,
         namespaces: frozenset = DEFAULT_PERSIST_NAMESPACES,
         kernel_backend: Optional[str] = None,
+        store_tier: str = "auto",
     ) -> None:
         if kernel_backend is not None:
             # Fail fast on a typo; unsatisfiable requests (numba absent)
@@ -118,6 +126,10 @@ class ExecutorPool:
             raise ValueError(
                 f"unknown pool backend {backend!r}; choose from {POOL_BACKENDS}"
             )
+        if store_tier not in STORE_TIERS:
+            raise ValueError(
+                f"unknown store tier {store_tier!r}; choose from {STORE_TIERS}"
+            )
         if idle_timeout is not None and idle_timeout <= 0:
             raise ValueError("idle_timeout must be positive (or None)")
         self.backend = backend
@@ -127,6 +139,7 @@ class ExecutorPool:
         self.worker_cache_bytes = worker_cache_bytes
         self.namespaces = frozenset(namespaces)
         self.kernel_backend = kernel_backend
+        self.store_tier = store_tier
         #: Parent-side warm-up record (thread backend; None until the
         #: first executor spawn).  Process workers publish their records
         #: into the store's ``runtime`` namespace instead.
@@ -337,6 +350,11 @@ class ExecutorPool:
                 "active_batches": self._active,
                 "closed": self._closed,
                 "kernel_backend": self.kernel_stats(),
+                "store": (
+                    self._store.stats()
+                    if self._store is not None
+                    else {"tier": self.store_tier}
+                ),
             }
 
     def kernel_stats(self) -> dict:
@@ -367,11 +385,17 @@ class ExecutorPool:
         return info
 
     def publish_batch(self, requests: Sequence) -> str:
-        """Write a batch's request list to the pool store; returns its key.
+        """Publish a batch's request list to the pool store; returns its key.
 
         Long-lived process workers load (and LRU-cache) the list on the
         first node of the batch they execute — the store replaces the
-        one-shot backend's spawn-time ``initargs`` channel.
+        one-shot backend's spawn-time ``initargs`` channel.  Under the
+        shared-memory store tier the payload is pickled with
+        protocol-5 out-of-band buffers straight into a shared segment
+        (``batch`` is shm-only there — no disk file at all), so workers
+        reattach every ndarray in every request as a zero-copy view;
+        with the plain disk tier (thread pools, hosts without
+        ``/dev/shm``) it falls back to the store's ``.npz`` path.
         """
         key = f"{os.getpid()}-{next(self._batch_ids)}-{uuid.uuid4().hex[:8]}"
         self.store.save("batch", key, tuple(requests))
@@ -397,7 +421,12 @@ class ExecutorPool:
             if root is None:
                 self._tmp = tempfile.TemporaryDirectory(prefix="repro-pool-")
                 root = self._tmp.name
-            self._store = DiskArtifactStore(root, namespaces=self.namespaces)
+            # The pool parent owns the root: its close (at shutdown)
+            # reaps every shm segment published under it, including by
+            # since-dead workers.
+            self._store = make_store(
+                root, tier=self.store_tier, namespaces=self.namespaces, owner=True
+            )
         return self._store
 
     def _ensure_executor(self):
@@ -428,6 +457,7 @@ class ExecutorPool:
                         sorted(store.namespaces),
                         self.worker_cache_bytes,
                         self.kernel_backend,
+                        store.tier,  # resolved: "shm" or "disk"
                     ),
                 )
             self.spawn_count += 1
@@ -440,6 +470,8 @@ class ExecutorPool:
             self._executor = None
 
     def _drop_store(self) -> None:
+        if self._store is not None and hasattr(self._store, "close"):
+            self._store.close()  # owner close: unlink this root's segments
         self._store = None
         if self._tmp is not None:
             self._tmp.cleanup()
@@ -490,6 +522,7 @@ def _persistent_worker_init(
     namespaces: Sequence[str],
     cache_bytes: Optional[int],
     kernel_backend: Optional[str] = None,
+    store_tier: str = "disk",
 ) -> None:
     """Build this worker's long-lived service over the pool's store.
 
@@ -504,7 +537,14 @@ def _persistent_worker_init(
     from repro.api.service import MappingService
     from repro.kernels.backend import set_backend, warm_up
 
-    _WORKER_STORE = DiskArtifactStore(store_root, namespaces=frozenset(namespaces))
+    # owner=False: a worker must not unlink segments at exit — its
+    # siblings (and the parent) still read them; the parent reaps.
+    _WORKER_STORE = make_store(
+        store_root,
+        tier=store_tier,
+        namespaces=frozenset(namespaces),
+        owner=False,
+    )
     _WORKER_SERVICE = MappingService(
         cache=ArtifactCache(store=_WORKER_STORE, max_bytes=cache_bytes)
     )

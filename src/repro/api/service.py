@@ -137,6 +137,7 @@ class MappingService:
         retry=None,
         node_timeout: Optional[float] = None,
         on_error: str = "raise",
+        store_tier: str = "auto",
     ) -> List[MapResponse]:
         """Run one or many requests, all algorithms, sharing the cache.
 
@@ -193,6 +194,7 @@ class MappingService:
             backend=resolved,
             workers=workers if workers is not None else self.workers,
             store_dir=store_dir,
+            store_tier=store_tier,
             **fault_kw,
         )
 

@@ -43,15 +43,26 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
 import pickle
+import struct
 import tempfile
+import threading
 import time
+import zipfile
 from typing import Any, Dict, Hashable, List, Optional
 
 import numpy as np
 
 __all__ = ["DiskArtifactStore", "DEFAULT_PERSIST_NAMESPACES"]
+
+#: When this environment variable names an *existing* file, every
+#: :meth:`DiskArtifactStore.load` raises instead of reading.  Tests arm
+#: it to prove a warm shared-memory-tier batch touches no artifact file
+#: (the flag-file indirection lets a test arm it after pool workers
+#: have already inherited the environment).
+READS_FORBIDDEN_ENV = "REPRO_STORE_READS_FORBIDDEN"
 
 #: Namespaces worth sharing across processes by default: the expensive,
 #: deterministic artifacts the planner dedupes (groupings, initial route
@@ -62,6 +73,7 @@ DEFAULT_PERSIST_NAMESPACES = frozenset(
 )
 
 _MISSING = object()
+_SENTINEL_DEFAULT = object()
 
 
 class DiskArtifactStore:
@@ -78,14 +90,29 @@ class DiskArtifactStore:
         :meth:`save`/:meth:`load` calls are not restricted by this set.
     """
 
+    #: Tier label reported through :meth:`stats` (the shared-memory
+    #: layer's ``TieredArtifactStore`` reports ``"shm"``).
+    tier = "disk"
+
     def __init__(
         self,
         root: str,
         *,
         namespaces: frozenset = DEFAULT_PERSIST_NAMESPACES,
+        mmap_reads: Optional[bool] = None,
     ) -> None:
         self.root = os.path.abspath(root)
         self.namespaces = frozenset(namespaces)
+        # Lazy mmap reads need stored (uncompressed) zip members and
+        # POSIX unlink-while-mapped semantics; default on where both
+        # hold, with a per-load fallback to the eager decoder.
+        self.mmap_reads = (os.name == "posix") if mmap_reads is None else mmap_reads
+        self._counter_lock = threading.Lock()
+        self._loads = 0
+        self._load_hits = 0
+        self._bytes_read = 0
+        self._saves = 0
+        self._save_skips = 0
         os.makedirs(self.root, exist_ok=True)
         self.sweep_orphans()
 
@@ -132,7 +159,9 @@ class DiskArtifactStore:
     # ------------------------------------------------------------------
     # save / load
     # ------------------------------------------------------------------
-    def save(self, namespace: str, key: Hashable, value: Any) -> str:
+    def save(
+        self, namespace: str, key: Hashable, value: Any, *, force: bool = False
+    ) -> str:
         """Persist *value* atomically; returns the file path.
 
         Concurrent writers of the same key are safe: each writes a
@@ -140,8 +169,19 @@ class DiskArtifactStore:
         is always a complete archive (last writer wins — artifacts are
         deterministic in their key, so every writer stores equal bytes
         of content).
+
+        Because of that determinism, a save whose target already exists
+        with a matching manifest key is a no-op (racing pool workers
+        otherwise rewrite identical files, temp churn included).  Pass
+        ``force=True`` to overwrite anyway — ``ArtifactCache.put`` does,
+        because direct puts may legitimately revise an entry (the DEF
+        baseline's lazily filled metrics).
         """
         path = self.path_for(namespace, key)
+        if not force and self._existing_matches(path, key):
+            with self._counter_lock:
+                self._save_skips += 1
+            return path
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
         arrays: Dict[str, np.ndarray] = {}
@@ -162,7 +202,25 @@ class DiskArtifactStore:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        with self._counter_lock:
+            self._saves += 1
         return path
+
+    def _existing_matches(self, path: str, key: Hashable) -> bool:
+        """Whether *path* is a complete archive for *key* (cheap check:
+        reads only the small manifest member, never the arrays)."""
+        if not os.path.exists(path):
+            return False
+        try:
+            with zipfile.ZipFile(path) as zf:
+                with zf.open("__manifest__.npy") as member:
+                    raw = _read_npy_bytes(member)
+            manifest = json.loads(raw.decode("utf-8"))
+            return manifest.get("version") == 1 and manifest.get(
+                "key_repr"
+            ) == repr(key)
+        except Exception:
+            return False  # torn/garbled target: rewrite it
 
     def load(self, namespace: str, key: Hashable, default: Any = None) -> Any:
         """Read an artifact back; *default* on miss **or any corruption**.
@@ -170,18 +228,70 @@ class DiskArtifactStore:
         Every failure mode — missing file, truncated zip, garbled JSON,
         stale format version, key-hash collision, broken pickle — is a
         miss, never an exception: the caller recomputes and overwrites.
+
+        With :attr:`mmap_reads` (the default on POSIX) array payloads
+        are returned as read-only views over a memory-mapped file —
+        lazy, no eager copy — falling back to the eager ``np.load``
+        decoder whenever the file predates the stored-member layout the
+        mapper needs.
         """
+        forbid = os.environ.get(READS_FORBIDDEN_ENV)
+        if forbid and os.path.exists(forbid):
+            # Deliberately outside the try: the whole point of the
+            # canary is to surface, not mask, a forbidden disk read.
+            raise RuntimeError(
+                f"artifact disk read of {namespace!r} forbidden while "
+                f"{READS_FORBIDDEN_ENV} flag file {forbid!r} exists"
+            )
         path = self.path_for(namespace, key)
-        try:
-            with np.load(path, allow_pickle=False) as archive:
-                manifest = json.loads(bytes(archive["__manifest__"]).decode("utf-8"))
-                if manifest.get("version") != 1:
-                    return default
-                if manifest.get("key_repr") != repr(key):
-                    return default  # filename-hash collision: not our key
-                return _decode(manifest["value"], archive)
-        except Exception:
+        with self._counter_lock:
+            self._loads += 1
+        value = _MISSING
+        if self.mmap_reads:
+            try:
+                value = self._load_mmap(path, key, default)
+            except Exception:
+                value = _MISSING  # fall back to the eager decoder
+        if value is _MISSING:
+            try:
+                with np.load(path, allow_pickle=False) as archive:
+                    manifest = json.loads(
+                        bytes(archive["__manifest__"]).decode("utf-8")
+                    )
+                    if manifest.get("version") != 1:
+                        return default
+                    if manifest.get("key_repr") != repr(key):
+                        return default  # filename-hash collision: not our key
+                    value = _decode(manifest["value"], archive)
+            except Exception:
+                return default
+        if value is _SENTINEL_DEFAULT:
             return default
+        with self._counter_lock:
+            self._load_hits += 1
+            try:
+                self._bytes_read += os.path.getsize(path)
+            except OSError:
+                pass
+        return value
+
+    def _load_mmap(self, path: str, key: Hashable, default: Any) -> Any:
+        """Lazy decode over one shared ``mmap`` of the archive.
+
+        Returns ``_MISSING`` to request the eager fallback and the
+        ``_SENTINEL_DEFAULT`` marker for a definitive miss (collision /
+        version skew), so the caller distinguishes "try again eagerly"
+        from "this file is not our artifact".
+        """
+        with open(path, "rb") as fh:
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        archive = _MmapArchive(mapped)
+        manifest = json.loads(bytes(archive["__manifest__"]).decode("utf-8"))
+        if manifest.get("version") != 1:
+            return _SENTINEL_DEFAULT
+        if manifest.get("key_repr") != repr(key):
+            return _SENTINEL_DEFAULT
+        return _decode(manifest["value"], archive)
 
     def contains(self, namespace: str, key: Hashable) -> bool:
         """Cheap existence probe (does not validate the file's content)."""
@@ -234,6 +344,21 @@ class DiskArtifactStore:
                 )
         return total
 
+    def stats(self) -> dict:
+        """I/O counters for monitoring (`loads` counts attempts, hits or
+        not; ``bytes_read`` is file bytes behind successful loads —
+        mapped lazily when :attr:`mmap_reads` is on)."""
+        with self._counter_lock:
+            return {
+                "tier": self.tier,
+                "loads": self._loads,
+                "load_hits": self._load_hits,
+                "bytes_read": self._bytes_read,
+                "saves": self._saves,
+                "save_skips": self._save_skips,
+                "mmap_reads": self.mmap_reads,
+            }
+
     def _namespace_dirs(self) -> List[str]:
         return [
             name
@@ -267,10 +392,30 @@ def _encode(value: Any, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
     route_spec = _encode_route_table(value, arrays)
     if route_spec is not None:
         return route_spec
+    # Protocol-5 out-of-band fallback: contiguous ndarrays inside an
+    # otherwise unencodable object (a TaskGraph's CSR arrays, a
+    # MapperResult's permutation) leave the pickle stream as raw
+    # buffers and become native array entries — which the shm tier and
+    # the mmap reader then serve as zero-copy views.
+    oob: List[np.ndarray] = []
+
+    def _take_out_of_band(pb: pickle.PickleBuffer):
+        try:
+            raw = pb.raw()
+        except BufferError:
+            return True  # non-contiguous: keep it in-band
+        oob.append(np.frombuffer(raw, dtype=np.uint8))
+        return None
+
     payload = np.frombuffer(
-        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8
+        pickle.dumps(value, protocol=5, buffer_callback=_take_out_of_band),
+        dtype=np.uint8,
     )
-    return {"kind": "pickle", "id": _add_array(arrays, payload)}
+    return {
+        "kind": "pickle5",
+        "id": _add_array(arrays, payload),
+        "buffers": [_add_array(arrays, b) for b in oob],
+    }
 
 
 def _decode(spec: Dict[str, Any], archive) -> Any:
@@ -295,6 +440,9 @@ def _decode(spec: Dict[str, Any], archive) -> Any:
         )
     if kind == "pickle":
         return pickle.loads(bytes(archive[spec["id"]]))
+    if kind == "pickle5":
+        buffers = [archive[b] for b in spec["buffers"]]
+        return pickle.loads(archive[spec["id"]], buffers=buffers)
     raise ValueError(f"unknown artifact spec kind {kind!r}")
 
 
@@ -317,3 +465,78 @@ def _add_array(arrays: Dict[str, np.ndarray], value: np.ndarray) -> str:
     name = f"a{len(arrays)}"
     arrays[name] = value
     return name
+
+
+# ---------------------------------------------------------------------------
+# Lazy mmap reads: ``np.savez`` stores each member uncompressed, so every
+# array body is a contiguous region of the archive that can be served as
+# an ``np.frombuffer`` view over one shared memory map instead of being
+# eagerly copied out of the zip.
+# ---------------------------------------------------------------------------
+
+_ZIP_LOCAL_HEADER_SIZE = 30
+_ZIP_LOCAL_MAGIC = b"PK\x03\x04"
+
+
+def _read_array_header(fh, version):
+    """Version-dispatched ``.npy`` header parse (NumPy 1.x/2.x safe)."""
+    if version == (1, 0):
+        return np.lib.format.read_array_header_1_0(fh)
+    if version == (2, 0):
+        return np.lib.format.read_array_header_2_0(fh)
+    raise ValueError(f"unsupported .npy format version {version}")
+
+
+def _read_npy_bytes(fh) -> bytes:
+    """Raw bytes of a 1-D uint8 ``.npy`` stream (the JSON manifest)."""
+    version = np.lib.format.read_magic(fh)
+    shape, fortran, dtype = _read_array_header(fh, version)
+    if dtype != np.uint8 or len(shape) != 1:
+        raise ValueError("manifest member is not a flat uint8 array")
+    return fh.read(shape[0])
+
+
+class _MmapArchive:
+    """Read-only, ``NpzFile``-shaped view over one memory-mapped archive.
+
+    ``archive[name]`` returns a read-only ``np.frombuffer`` view into
+    the map (the view's ``base`` keeps the map alive), so a load
+    materializes no array bytes until a kernel actually touches them.
+    Any structural surprise — compressed member, foreign local header,
+    truncated data region, object dtype — raises, and the store falls
+    back to the eager ``np.load`` decoder.
+    """
+
+    def __init__(self, mapped: mmap.mmap) -> None:
+        self._mm = mapped
+        self._zip = zipfile.ZipFile(mapped)  # mmap objects are file-like
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        info = self._zip.getinfo(f"{name}.npy")
+        if info.compress_type != zipfile.ZIP_STORED:
+            raise ValueError(f"member {name!r} is compressed; cannot map")
+        mm = self._mm
+        header = mm[
+            info.header_offset : info.header_offset + _ZIP_LOCAL_HEADER_SIZE
+        ]
+        if len(header) != _ZIP_LOCAL_HEADER_SIZE or not header.startswith(
+            _ZIP_LOCAL_MAGIC
+        ):
+            raise ValueError(f"member {name!r} has a garbled local header")
+        name_len, extra_len = struct.unpack("<HH", header[26:30])
+        start = info.header_offset + _ZIP_LOCAL_HEADER_SIZE + name_len + extra_len
+        mm.seek(start)
+        version = np.lib.format.read_magic(mm)
+        shape, fortran, dtype = _read_array_header(mm, version)
+        if dtype.hasobject:
+            raise ValueError(f"member {name!r} holds objects; cannot map")
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        offset = mm.tell()
+        if offset + count * dtype.itemsize > len(mm):
+            raise ValueError(f"member {name!r} is truncated")
+        flat = np.frombuffer(mm, dtype=dtype, count=count, offset=offset)
+        arr = flat.reshape(shape, order="F" if fortran else "C")
+        # ACCESS_READ maps already decode read-only; keep the invariant
+        # explicit — every store tier returns copy-on-write views.
+        arr.flags.writeable = False
+        return arr

@@ -62,11 +62,19 @@ pooled batch must have performed zero artifact disk reads.  Snapshots
 emitted on hosts without working shared memory skip with a note, so
 the gate is safe to pass unconditionally.
 
+With ``--gate-dist`` the ``dist`` section (multi-host sharding over
+loopback hosts) is gated, self-consistently within the new snapshot:
+the sharded run's mappings must be byte-identical to the serial
+reference, the batch must finish with zero errors and zero hosts lost,
+and on multi-core snapshots the dispatch overhead must keep sharded
+wall time within 3x of serial.  Snapshots predating the section skip
+with a note, so the gate is safe to pass unconditionally.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/compare_bench.py NEW.json [BASELINE.json]
         [--threshold 1.25] [--gate-batch] [--gate-tail] [--gate-native]
-        [--gate-ipc]
+        [--gate-ipc] [--gate-dist]
 
 With no explicit baseline, the highest-numbered ``BENCH_<n>.json`` in
 the repository root that is not the new snapshot itself is used.
@@ -87,6 +95,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 __all__ = [
     "compare_snapshots",
     "gate_batch_throughput",
+    "gate_dist",
     "gate_ipc",
     "gate_native_kernels",
     "gate_tail_latency",
@@ -477,6 +486,63 @@ def gate_ipc(new: dict) -> Tuple[bool, List[str]]:
     return ok, lines
 
 
+def gate_dist(new: dict) -> Tuple[bool, List[str]]:
+    """``(ok, report_lines)`` for the multi-host sharding gate.
+
+    Self-consistency within the *new* snapshot only: the sharded run
+    must be **byte-identical** to the serial reference (that is the
+    sharding plane's headline claim), finish with zero request errors
+    and zero hosts lost, and — on multi-core snapshots, where loopback
+    hosts have CPUs to themselves — keep dispatch overhead bounded
+    (sharded wall time no worse than 3x serial; loopback sharding
+    cannot be expected to *win* on one machine, but an order-of-
+    magnitude dispatch tax is a regression).  Snapshots predating the
+    section skip with a note, so the gate is safe to pass
+    unconditionally.
+    """
+    section = new.get("dist")
+    if not section:
+        return True, ["dist gate: new snapshot has no dist section; skipped"]
+    sharded = section.get("sharded") or {}
+    lines: List[str] = []
+    ok = True
+
+    identical = sharded.get("byte_identical")
+    good = identical is True
+    ok = ok and good
+    lines.append(
+        f"dist gate: byte_identical={identical} "
+        f"({'OK' if good else 'REGRESSION'}; sharded mappings must match "
+        "the serial reference exactly)"
+    )
+
+    errors = sharded.get("errors")
+    hosts_lost = sharded.get("hosts_lost") or []
+    good = errors == 0 and not hosts_lost
+    ok = ok and good
+    lines.append(
+        f"dist gate: errors={errors}, hosts_lost={list(hosts_lost)} "
+        f"({'OK' if good else 'REGRESSION'}; a healthy loopback cluster "
+        "must finish clean)"
+    )
+
+    speedup = sharded.get("speedup_vs_serial")
+    if new.get("cpus", 1) < 2:
+        lines.append(
+            f"dist gate: speedup_vs_serial={speedup:.2f} not gated "
+            "(single-CPU snapshot; loopback hosts share one core)"
+        )
+    elif speedup is not None:
+        good = speedup >= 1.0 / 3.0
+        ok = ok and good
+        lines.append(
+            f"dist gate: speedup_vs_serial={speedup:.2f} "
+            f"({'OK' if good else 'REGRESSION'}; dispatch overhead must "
+            "keep sharded wall time within 3x of serial on loopback)"
+        )
+    return ok, lines
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail on a geo-mean map-time regression between snapshots."
@@ -521,6 +587,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "must beat disk on geo-mean and warm pooled batches must do "
         "zero disk reads; shm-less snapshots skip with a note)",
     )
+    parser.add_argument(
+        "--gate-dist",
+        action="store_true",
+        help="also gate the dist section (sharded mappings must be "
+        "byte-identical to serial with zero errors, and dispatch "
+        "overhead bounded on multi-core snapshots; snapshots predating "
+        "the section skip with a note)",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or latest_snapshot(exclude=args.new)
@@ -551,6 +625,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             ipc_ok, ipc_lines = gate_ipc(new)
             ok = ok and ipc_ok
             lines += ipc_lines
+        if args.gate_dist:
+            dist_ok, dist_lines = gate_dist(new)
+            ok = ok and dist_ok
+            lines += dist_lines
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -39,6 +39,15 @@ cannot hide I/O — plus a ``warm_process_batch`` block proving a warm
 pooled batch under the shm tier performs zero artifact disk reads.
 ``compare_bench.py --gate-ipc`` gates on both.
 
+Since multi-host sharding the snapshot also carries a ``dist`` section:
+the sweep run serially and then sharded across two loopback
+:class:`~repro.dist.host.HostServer` processes behind one remote
+artifact store, reporting dispatch throughput, the speedup (bounded by
+CPU sharing on one machine — the gate checks overhead and correctness,
+not scaling), router placement stats, and whether the sharded mappings
+are byte-identical to the serial reference.  ``compare_bench.py
+--gate-dist`` gates on identity and zero errors.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py [output.json]
@@ -478,6 +487,92 @@ def measure_degraded_sweep() -> dict:
     return out
 
 
+def measure_dist() -> dict:
+    """Sharded dispatch vs serial over loopback hosts (``dist`` section).
+
+    Spins up one :class:`~repro.dist.remote.ArtifactStoreServer` and two
+    :class:`~repro.dist.host.HostServer` processes on the loopback
+    interface, runs the same multi-workload batch serially and sharded,
+    and records throughput, speedup, byte-identity of the mappings
+    (``MapResponse.fingerprint()``), and the router's placement stats.
+    Loopback hosts share the coordinator's CPUs, so the headline here is
+    dispatch overhead staying small and results staying identical — not
+    wall-clock speedup (that needs real second machines).
+    """
+    from repro.api.executor import _collect
+    from repro.api.plan import build_plan
+    from repro.dist import ArtifactStoreServer, HostServer
+    from repro.dist.coordinator import run_sharded
+    from repro.experiments.fig2 import sweep_requests
+    from repro.experiments.profiles import profile_from_env
+
+    profile = profile_from_env(default="ci")
+    cache = WorkloadCache(profile)
+    requests = sweep_requests(profile, cache, mappers=("UG", "UWH"))
+    plan = build_plan(requests)
+
+    service = MappingService()
+    t0 = time.perf_counter()
+    serial = service.map_batch(requests)
+    serial_s = time.perf_counter() - t0
+
+    out = {
+        "requests": len(requests),
+        "nodes": len(plan.nodes),
+        "hosts": 2,
+        "serial": {
+            "elapsed_s": serial_s,
+            "requests_per_s": len(requests) / serial_s,
+        },
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-dist-") as root:
+        store_srv = ArtifactStoreServer(os.path.join(root, "store")).start()
+        remote = "%s:%d" % store_srv.address
+        hosts = []
+        try:
+            for i in range(2):
+                host = HostServer(
+                    store_remote=remote,
+                    store_dir=os.path.join(root, f"host{i}"),
+                    store_tier="auto" if shm_available() else "disk",
+                    capacity=max(1, default_workers() // 2),
+                )
+                host.start()
+                hosts.append(host)
+            addresses = ["%s:%d" % h.address for h in hosts]
+            stats = {}
+            t0 = time.perf_counter()
+            outcomes = run_sharded(
+                plan,
+                MappingService(),
+                addresses,
+                store_remote=remote,
+                stats_out=stats,
+            )
+            sharded_s = time.perf_counter() - t0
+            responses = _collect(plan, outcomes)
+            out["sharded"] = {
+                "elapsed_s": sharded_s,
+                "requests_per_s": len(requests) / sharded_s,
+                "speedup_vs_serial": serial_s / sharded_s,
+                "errors": sum(1 for r in responses if r.error is not None),
+                "byte_identical": (
+                    [r.fingerprint() for r in responses]
+                    == [r.fingerprint() for r in serial]
+                ),
+                "router": stats.get("router"),
+                "hosts_lost": stats.get("hosts_lost"),
+                "nodes_run_per_host": {
+                    h.stats()["host_id"]: h.stats()["nodes_run"] for h in hosts
+                },
+            }
+        finally:
+            for h in hosts:
+                h.stop()
+            store_srv.stop()
+    return out
+
+
 def main(argv) -> str:
     out_path = argv[1] if len(argv) > 1 else next_snapshot_path()
     # Fail on an unwritable destination *before* the minutes-long sweep,
@@ -495,6 +590,7 @@ def main(argv) -> str:
         degraded = measure_degraded_sweep()
         with tempfile.TemporaryDirectory(prefix="repro-ipc-") as tmp_root:
             ipc = measure_ipc(tmp_root)
+        dist = measure_dist()
     except BaseException:
         if not existed:
             os.unlink(out_path)
@@ -532,6 +628,9 @@ def main(argv) -> str:
         # Artifact-plane transfer latencies per store tier (disk vs
         # shared memory) and the warm pooled batch's zero-disk proof.
         "ipc": ipc,
+        # Multi-host sharding over loopback hosts: dispatch overhead
+        # and byte-identity vs the serial reference.
+        "dist": dist,
         # Shared-artifact reuse during the sweep (MappingService batching).
         "artifact_cache": {
             ns: {"hits": s.hits, "misses": s.misses, "size": s.size}
@@ -603,6 +702,15 @@ def main(argv) -> str:
             f"parent disk loads {warm['parent_disk_loads']}, "
             f"batch files on disk {warm['batch_disk_files']}"
         )
+    sharded = dist["sharded"]
+    print(
+        f"  dist: {dist['requests']} requests over {dist['hosts']} loopback "
+        f"hosts: {sharded['elapsed_s']:.2f} s "
+        f"({sharded['speedup_vs_serial']:.2f}x vs serial), "
+        f"byte_identical={sharded['byte_identical']}, "
+        f"errors={sharded['errors']}, "
+        f"steals={sharded['router']['steals']}"
+    )
     return out_path
 
 

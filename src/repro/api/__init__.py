@@ -58,6 +58,7 @@ script); ``map-batch --follow`` serves a JSONL request stream.
 """
 
 from repro.api.aio import AsyncMappingService
+from repro.api.config import EngineConfig
 from repro.api.cache import (
     ArtifactCache,
     CacheStats,
@@ -76,7 +77,7 @@ from repro.api.shm import (
     make_store,
     shm_available,
 )
-from repro.api.store import DiskArtifactStore
+from repro.api.store import ArtifactStore, DiskArtifactStore
 from repro.api.registry import (
     MapperRegistrationError,
     MapperSpec,
@@ -102,10 +103,12 @@ from repro.api.stages import (
 
 __all__ = [
     "ArtifactCache",
+    "ArtifactStore",
     "AsyncMappingService",
     "BACKENDS",
     "CacheStats",
     "DiskArtifactStore",
+    "EngineConfig",
     "SharedMemoryStore",
     "TieredArtifactStore",
     "make_store",

@@ -96,6 +96,9 @@ def execute_plan(
     node_timeout: Optional[float] = None,
     on_error: str = "raise",
     store_tier: str = "auto",
+    store_remote: Optional[str] = None,
+    hosts: Sequence[str] = (),
+    steal_threshold: int = 2,
 ) -> List[MapResponse]:
     """Run *plan* on *backend*; responses return in request order.
 
@@ -147,6 +150,18 @@ def execute_plan(
         store (``auto``/``shm``/``disk``; see :func:`repro.api.shm.
         make_store`).  A store attached to the service cache keeps its
         own tier; pooled runs use the pool store's.
+    store_remote:
+        ``host:port`` of a remote artifact store (``repro-map
+        store-serve``) layered under the batch-scoped store — required
+        for sharded runs whose hosts do not share a filesystem.
+    hosts:
+        Shard-host addresses (``repro-map shard-serve`` processes).
+        Non-empty runs the plan on the distributed coordinator
+        (:func:`repro.dist.coordinator.run_sharded`) instead of a local
+        backend; *backend*/*workers*/*pool* are ignored there.
+    steal_threshold:
+        Sharded runs only: ready-backlog depth above which an idle host
+        steals unpinned nodes from a hot shard.
     """
     if on_error not in ("raise", "partial"):
         raise ValueError("on_error must be 'raise' or 'partial'")
@@ -155,6 +170,20 @@ def execute_plan(
         "node_timeout": node_timeout,
         "partial": on_error == "partial",
     }
+    if hosts:
+        from repro.dist.coordinator import run_sharded
+
+        outcomes = run_sharded(
+            plan,
+            service,
+            hosts,
+            store_remote=store_remote,
+            store_dir=store_dir,
+            store_tier=store_tier,
+            steal_threshold=steal_threshold,
+            **fault_kw,
+        )
+        return _collect(plan, outcomes)
     if pool is not None:
         return _collect(plan, _run_pooled(plan, service, pool, fault_kw))
     if backend not in BACKENDS:
@@ -165,7 +194,7 @@ def execute_plan(
         outcomes = _run_threaded(plan, service, workers, fault_kw)
     else:
         outcomes = _run_process(
-            plan, service, workers, store_dir, fault_kw, store_tier
+            plan, service, workers, store_dir, fault_kw, store_tier, store_remote
         )
     return _collect(plan, outcomes)
 
@@ -303,6 +332,7 @@ def _run_process(
     store_dir: Optional[str],
     fault_kw: dict,
     store_tier: str = "auto",
+    store_remote: Optional[str] = None,
 ) -> List:
     from repro.api.shm import make_store
     from repro.api.store import DEFAULT_PERSIST_NAMESPACES
@@ -325,7 +355,11 @@ def _run_process(
         # The batch-scoped parent owns the root for this run; closing it
         # below reaps any shm segments the workers published.
         owned_store = make_store(
-            store_dir, tier=store_tier, namespaces=namespaces, owner=True
+            store_dir,
+            tier=store_tier,
+            namespaces=namespaces,
+            owner=True,
+            remote=store_remote,
         )
         store_tier = owned_store.tier
     try:
@@ -336,7 +370,13 @@ def _run_process(
             # instead of once per node — a request's task graph and
             # machine would otherwise cross the IPC boundary for every
             # one of its algorithms.
-            initargs=(store_dir, sorted(namespaces), plan.requests, store_tier),
+            initargs=(
+                store_dir,
+                sorted(namespaces),
+                plan.requests,
+                store_tier,
+                store_remote,
+            ),
         ) as pool:
 
             def submit(node: PlanNode):
@@ -777,6 +817,7 @@ def _process_worker_init(
     namespaces: Sequence[str],
     requests: Sequence[MapRequest],
     store_tier: str = "disk",
+    store_remote: Optional[str] = None,
 ) -> None:
     """Build this worker's service over the shared cross-process store."""
     global _WORKER_SERVICE, _WORKER_REQUESTS
@@ -792,6 +833,7 @@ def _process_worker_init(
         tier=store_tier,
         namespaces=frozenset(namespaces),
         owner=False,
+        remote=store_remote,
     )
     _WORKER_SERVICE = MappingService(cache=ArtifactCache(store=store))
     _WORKER_REQUESTS = tuple(requests)

@@ -115,6 +115,7 @@ class ExecutorPool:
         namespaces: frozenset = DEFAULT_PERSIST_NAMESPACES,
         kernel_backend: Optional[str] = None,
         store_tier: str = "auto",
+        store_remote: Optional[str] = None,
     ) -> None:
         if kernel_backend is not None:
             # Fail fast on a typo; unsatisfiable requests (numba absent)
@@ -140,6 +141,9 @@ class ExecutorPool:
         self.namespaces = frozenset(namespaces)
         self.kernel_backend = kernel_backend
         self.store_tier = store_tier
+        #: Remote artifact store address layered under the pool store
+        #: (sharded deployments; workers rebuild the same layering).
+        self.store_remote = store_remote
         #: Parent-side warm-up record (thread backend; None until the
         #: first executor spawn).  Process workers publish their records
         #: into the store's ``runtime`` namespace instead.
@@ -425,7 +429,11 @@ class ExecutorPool:
             # reaps every shm segment published under it, including by
             # since-dead workers.
             self._store = make_store(
-                root, tier=self.store_tier, namespaces=self.namespaces, owner=True
+                root,
+                tier=self.store_tier,
+                namespaces=self.namespaces,
+                owner=True,
+                remote=self.store_remote,
             )
         return self._store
 
@@ -458,6 +466,7 @@ class ExecutorPool:
                         self.worker_cache_bytes,
                         self.kernel_backend,
                         store.tier,  # resolved: "shm" or "disk"
+                        self.store_remote,
                     ),
                 )
             self.spawn_count += 1
@@ -523,6 +532,7 @@ def _persistent_worker_init(
     cache_bytes: Optional[int],
     kernel_backend: Optional[str] = None,
     store_tier: str = "disk",
+    store_remote: Optional[str] = None,
 ) -> None:
     """Build this worker's long-lived service over the pool's store.
 
@@ -544,6 +554,7 @@ def _persistent_worker_init(
         tier=store_tier,
         namespaces=frozenset(namespaces),
         owner=False,
+        remote=store_remote,
     )
     _WORKER_SERVICE = MappingService(
         cache=ArtifactCache(store=_WORKER_STORE, max_bytes=cache_bytes)

@@ -39,6 +39,7 @@ from typing import Iterable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.api.cache import ArtifactCache, machine_key, task_graph_key
+from repro.api.config import EngineConfig
 from repro.api.plan import build_plan, grouping_artifact_key
 from repro.api.registry import MapperSpec, get_spec
 from repro.api.request import MapRequest, MapResponse
@@ -53,7 +54,10 @@ from repro.graph.task_graph import TaskGraph
 from repro.mapping.base import Mapping, expand_mapping
 from repro.mapping.pipeline import MapperResult
 from repro.metrics.mapping import evaluate_mapping
-from repro.partition.driver import EngineConfig
+# The *partitioner* configuration (refinement passes, imbalance,
+# coarsening) — a different object from repro.api.config.EngineConfig,
+# the engine's execution knobs; see the latter's module docstring.
+from repro.partition import driver as partition_driver
 from repro.topology.machine import Machine
 
 __all__ = ["MappingService"]
@@ -91,6 +95,14 @@ class MappingService:
         respawns with the new shape), and ``backend="serial"`` bypasses
         it.  The pool is shared, not owned: shut it down where it was
         created.
+    config:
+        Optional :class:`~repro.api.config.EngineConfig` supplying the
+        defaults for everything above plus :meth:`map_batch`'s fault
+        and sharding knobs.  Explicit constructor/call kwargs always
+        win; with no config every historical default applies unchanged.
+        A config naming ``store_dir`` (and no explicit *cache*) builds
+        the service cache over that store, with ``cache_entries``/
+        ``cache_bytes`` as its LRU bounds.
     """
 
     def __init__(
@@ -100,19 +112,38 @@ class MappingService:
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         pool=None,
+        config: Optional[EngineConfig] = None,
     ) -> None:
         from repro.api.executor import BACKENDS
 
+        config = (config or EngineConfig()).merged(backend=backend, workers=workers)
+        backend = config.backend
         if backend is None:
             backend = pool.backend if pool is not None else "serial"
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}"
             )
-        self.cache = cache if cache is not None else ArtifactCache()
+        if cache is None:
+            store = None
+            if config.store_dir is not None:
+                from repro.api.store import make_store
+
+                store = make_store(
+                    config.store_dir,
+                    tier=config.store_tier,
+                    remote=config.store_remote,
+                )
+            cache = ArtifactCache(
+                max_entries=config.cache_entries,
+                max_bytes=config.cache_bytes,
+                store=store,
+            )
+        self.cache = cache
         self.backend = backend
-        self.workers = workers
+        self.workers = config.workers
         self.pool = pool
+        self.config = config
 
     # ------------------------------------------------------------------
     # Public API
@@ -136,8 +167,12 @@ class MappingService:
         pool=None,
         retry=None,
         node_timeout: Optional[float] = None,
-        on_error: str = "raise",
-        store_tier: str = "auto",
+        on_error: Optional[str] = None,
+        store_tier: Optional[str] = None,
+        store_remote: Optional[str] = None,
+        hosts: Optional[Iterable[str]] = None,
+        steal_threshold: Optional[int] = None,
+        config: Optional[EngineConfig] = None,
     ) -> List[MapResponse]:
         """Run one or many requests, all algorithms, sharing the cache.
 
@@ -172,29 +207,65 @@ class MappingService:
         batch — the unaffected requests still return real mappings.
         The defaults reproduce the pre-fault-tolerance behaviour (and
         byte-identical results) exactly.
+
+        *hosts* (or a service/call :class:`~repro.api.config.
+        EngineConfig` naming them) runs the batch on the distributed
+        coordinator instead: the plan shards across the ``repro-map
+        shard-serve`` processes at those addresses, with the batch
+        payload replicated through *store_remote* (a ``repro-map
+        store-serve`` address).  Every per-call kwarg overrides the
+        config; omitted ones fall back to it, then to the historical
+        defaults.
         """
         from repro.api.executor import execute_plan
 
         plan = build_plan(requests)
+        cfg = (config if config is not None else self.config).merged(
+            backend=backend,
+            workers=workers,
+            store_dir=store_dir,
+            retry=retry,
+            node_timeout=node_timeout,
+            on_error=on_error,
+            store_tier=store_tier,
+            store_remote=store_remote,
+            hosts=tuple(hosts) if hosts else None,
+            steal_threshold=steal_threshold,
+        )
+        fault_kw = {
+            "retry": cfg.retry,
+            "node_timeout": cfg.node_timeout,
+            "on_error": cfg.on_error,
+        }
+        if cfg.hosts:
+            return execute_plan(
+                plan,
+                self,
+                hosts=cfg.hosts,
+                store_remote=cfg.store_remote,
+                store_dir=cfg.store_dir,
+                store_tier=cfg.store_tier,
+                steal_threshold=cfg.steal_threshold,
+                **fault_kw,
+            )
         pool = pool if pool is not None else self.pool
         # self.backend already defaulted to the pool's backend at
         # construction, so an explicit constructor backend= (e.g. the
         # serial reference path next to an attached pool) stays honored.
-        resolved = backend if backend is not None else self.backend
-        fault_kw = {"retry": retry, "node_timeout": node_timeout, "on_error": on_error}
+        resolved = cfg.backend if cfg.backend is not None else self.backend
         if pool is not None and resolved != "serial":
             pool.configure(
                 backend=resolved,
-                workers=workers if workers is not None else self.workers,
+                workers=cfg.workers if cfg.workers is not None else self.workers,
             )
             return execute_plan(plan, self, pool=pool, **fault_kw)
         return execute_plan(
             plan,
             self,
             backend=resolved,
-            workers=workers if workers is not None else self.workers,
-            store_dir=store_dir,
-            store_tier=store_tier,
+            workers=cfg.workers if cfg.workers is not None else self.workers,
+            store_dir=cfg.store_dir,
+            store_tier=cfg.store_tier,
             **fault_kw,
         )
 
@@ -204,7 +275,7 @@ class MappingService:
         machine: Machine,
         *,
         seed: int = 0,
-        config: Optional[EngineConfig] = None,
+        config: Optional[partition_driver.EngineConfig] = None,
     ) -> Tuple[np.ndarray, TaskGraph]:
         """Shared grouping (phase-1 partition of ranks into nodes), cached.
 

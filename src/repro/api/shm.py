@@ -74,9 +74,12 @@ import numpy as np
 
 from repro.api.store import (
     DEFAULT_PERSIST_NAMESPACES,
+    STORE_TIERS,
+    ArtifactStore,
     DiskArtifactStore,
     _decode,
     _encode,
+    make_store,
 )
 
 __all__ = [
@@ -86,9 +89,6 @@ __all__ = [
     "shm_available",
     "STORE_TIERS",
 ]
-
-#: Store-tier choices accepted by pools, the executor and the CLI.
-STORE_TIERS = ("auto", "shm", "disk")
 
 _MAGIC = b"RPRSHM1\0"
 _PREFIX = "rpr"
@@ -174,7 +174,7 @@ def _release_view(store_ref, name: str, att: "_Attachment") -> None:
             pass
 
 
-class SharedMemoryStore:
+class SharedMemoryStore(ArtifactStore):
     """Named-segment artifact store scoped to one disk root's token.
 
     Parameters
@@ -209,6 +209,7 @@ class SharedMemoryStore:
         self._published: Set[str] = set()
         self._closed = False
         self._publishes = 0
+        self._publish_skips = 0
         self._publish_bytes = 0
         self._attaches = 0
         self._loads = 0
@@ -235,19 +236,25 @@ class SharedMemoryStore:
     # ------------------------------------------------------------------
     # save / load
     # ------------------------------------------------------------------
-    def save(self, namespace: str, key: Hashable, value: Any) -> bool:
+    def save(
+        self, namespace: str, key: Hashable, value: Any, *, force: bool = False
+    ) -> bool:
         """Publish *value* as one committed segment; False on failure.
 
         Failure (an unpicklable leaf, shm exhaustion, a racing
         publisher) is never an error — the caller's disk tier is the
         durable fallback.  A segment already committed under this name
         is content-addressed and therefore already holds these bytes;
-        the publish is skipped.
+        the publish is skipped (counted as ``save_skips``) unless
+        ``force=True``, which unlinks and republishes — a direct
+        ``ArtifactCache.put`` may legitimately revise an entry.
         """
         if self._closed:
             return False
         name = self.segment_name(namespace, key)
         try:
+            if force:
+                self.delete(namespace, key)
             return self._publish(name, namespace, key, value, retried=False)
         except Exception:
             return False
@@ -341,6 +348,9 @@ class SharedMemoryStore:
         if committed:
             with self._lock:
                 self._published.add(name)
+                # Same naming as the disk tier: a duplicate publish of a
+                # content-addressed key is a skip, not a failure.
+                self._publish_skips += 1
             return True
         if retried:
             return False  # a live concurrent publisher owns it; yield
@@ -556,11 +566,17 @@ class SharedMemoryStore:
     def stats(self) -> dict:
         with self._lock:
             counters = {
+                # Canonical cross-tier keys first (every ArtifactStore
+                # reports saves/save_skips/loads/load_hits uniformly) …
+                "saves": self._publishes,
+                "save_skips": self._publish_skips,
+                "loads": self._loads,
+                "load_hits": self._load_hits,
+                # … then the shm-specific detail (publishes aliases
+                # saves for backward compatibility).
                 "publishes": self._publishes,
                 "publish_bytes": self._publish_bytes,
                 "attaches": self._attaches,
-                "loads": self._loads,
-                "load_hits": self._load_hits,
                 "orphans_swept": self._swept,
                 "attached_segments": len(self._attached),
             }
@@ -635,18 +651,23 @@ class _SegmentArchive:
         return arr
 
 
-class TieredArtifactStore:
-    """shm-over-disk composition, duck-compatible with the disk store.
+class TieredArtifactStore(ArtifactStore):
+    """shm-over-disk(-over-remote) composition behind one store surface.
 
-    Reads: shm → disk (a disk hit is promoted into shm so the *next*
-    reader on the host maps it).  Writes: shm best-effort + disk
-    durable — except the ``batch`` namespace, whose payloads exist only
-    for the duration of one in-flight batch and therefore skip disk
-    entirely when shm is live (the zero-disk hot path the process
-    backend's warm batches ride).
+    Reads: shm → disk → remote (a lower-tier hit is promoted into shm
+    so the *next* reader on the host maps it).  Writes: shm best-effort
+    + disk durable + remote replicated — except the ``batch``
+    namespace, whose payloads exist only for the duration of one
+    in-flight batch and therefore skip disk entirely when shm is live
+    (the zero-disk hot path the process backend's warm batches ride);
+    batch payloads *do* replicate to an attached remote, which is how a
+    sharding coordinator hands request payloads to its hosts.
+
+    The remote tier (a :class:`~repro.dist.remote.RemoteArtifactStore`
+    speaking to a ``repro-map store-serve`` process) is strictly
+    best-effort at runtime: an unreachable remote reads as a miss and
+    drops writes, never raises — local tiers keep the host correct.
     """
-
-    tier = "shm"
 
     #: Namespaces that never touch disk while the shm tier is live.
     EPHEMERAL_NAMESPACES = frozenset({"batch"})
@@ -658,8 +679,10 @@ class TieredArtifactStore:
         namespaces: frozenset = DEFAULT_PERSIST_NAMESPACES,
         owner: bool = True,
         mmap_reads: Optional[bool] = None,
+        use_shm: bool = True,
+        remote=None,
     ) -> None:
-        if not shm_available():
+        if use_shm and not shm_available():
             raise RuntimeError(
                 "the shm store tier needs working POSIX shared memory and "
                 "a listable /dev/shm; use tier='auto' to fall back to disk"
@@ -667,7 +690,17 @@ class TieredArtifactStore:
         self.disk = DiskArtifactStore(
             root, namespaces=namespaces, mmap_reads=mmap_reads
         )
-        self.shm = SharedMemoryStore(root, namespaces=namespaces, owner=owner)
+        self.shm = (
+            SharedMemoryStore(root, namespaces=namespaces, owner=owner)
+            if use_shm
+            else None
+        )
+        if isinstance(remote, str):
+            from repro.dist.remote import RemoteArtifactStore  # lazy
+
+            remote = RemoteArtifactStore(remote, namespaces=namespaces)
+        self.remote = remote
+        self.tier = "shm" if use_shm else "disk"
 
     # -- identity ------------------------------------------------------
     @property
@@ -685,73 +718,101 @@ class TieredArtifactStore:
     def save(
         self, namespace: str, key: Hashable, value: Any, *, force: bool = False
     ) -> str:
-        published = self.shm.save(namespace, key, value)
+        published = (
+            self.shm.save(namespace, key, value, force=force)
+            if self.shm is not None
+            else False
+        )
+        if self.remote is not None:
+            # Replicate so sibling hosts can read it; the remote client
+            # degrades to a no-op when the server is unreachable.
+            self.remote.save(namespace, key, value, force=force)
         if published and namespace in self.EPHEMERAL_NAMESPACES:
             return self.path_for(namespace, key)  # shm-only by design
         return self.disk.save(namespace, key, value, force=force)
 
     def load(self, namespace: str, key: Hashable, default: Any = None) -> Any:
-        value = self.shm.load(namespace, key, default=_MISSING)
-        if value is not _MISSING:
-            return value
+        if self.shm is not None:
+            value = self.shm.load(namespace, key, default=_MISSING)
+            if value is not _MISSING:
+                return value
         value = self.disk.load(namespace, key, default=_MISSING)
-        if value is _MISSING:
-            return default
-        if namespace not in self.EPHEMERAL_NAMESPACES:
-            self.shm.save(namespace, key, value)  # promote for the host
-        return value
+        if value is not _MISSING:
+            if self.shm is not None and namespace not in self.EPHEMERAL_NAMESPACES:
+                self.shm.save(namespace, key, value)  # promote for the host
+            return value
+        if self.remote is not None:
+            value = self.remote.load(namespace, key, default=_MISSING)
+            if value is not _MISSING:
+                # Remote reads promote into shm (memory-speed for the
+                # whole host) — or onto disk when shm is off, so the
+                # next reader skips the network round trip.
+                if self.shm is not None:
+                    self.shm.save(namespace, key, value)
+                elif namespace not in self.EPHEMERAL_NAMESPACES:
+                    self.disk.save(namespace, key, value)
+                return value
+        return default
 
     def contains(self, namespace: str, key: Hashable) -> bool:
-        return self.shm.contains(namespace, key) or self.disk.contains(
-            namespace, key
-        )
+        if self.shm is not None and self.shm.contains(namespace, key):
+            return True
+        if self.disk.contains(namespace, key):
+            return True
+        return self.remote is not None and self.remote.contains(namespace, key)
 
     def delete(self, namespace: str, key: Hashable) -> bool:
-        removed = self.shm.delete(namespace, key)
+        removed = self.shm.delete(namespace, key) if self.shm is not None else False
+        if self.remote is not None:
+            removed = self.remote.delete(namespace, key) or removed
         return self.disk.delete(namespace, key) or removed
 
     # -- maintenance ---------------------------------------------------
     def sweep_orphans(self, *, min_age_s: float = 300.0) -> int:
-        return self.disk.sweep_orphans(
-            min_age_s=min_age_s
-        ) + self.shm.sweep_orphans(min_age_s=min_age_s)
+        # The remote store is deliberately *not* swept here: its root
+        # belongs to the server process (and to every other host), so
+        # crash hygiene there is the server's job.
+        removed = self.disk.sweep_orphans(min_age_s=min_age_s)
+        if self.shm is not None:
+            removed += self.shm.sweep_orphans(min_age_s=min_age_s)
+        return removed
 
     def clear(self, namespace: Optional[str] = None) -> int:
-        self.shm.clear(namespace)
+        if self.shm is not None:
+            self.shm.clear(namespace)
         return self.disk.clear(namespace)
 
     def file_count(self, namespace: Optional[str] = None) -> int:
         return self.disk.file_count(namespace)
 
     def stats(self) -> dict:
-        stats = {"tier": self.tier, "shm": self.shm.stats()}
-        stats["disk"] = self.disk.stats()
+        disk = self.disk.stats()
+        shm = self.shm.stats() if self.shm is not None else None
+        remote = self.remote.stats() if self.remote is not None else None
+        # Canonical cross-tier keys: every load consults the front tier
+        # first and hits at most one tier, and every non-ephemeral save
+        # runs through the durable disk tier (where duplicate detection
+        # lives) — so these rollups count tiered-level operations, not
+        # per-tier traffic sums.
+        front = shm if shm is not None else disk
+        stats = {
+            "tier": self.tier,
+            "saves": disk["saves"],
+            "save_skips": disk["save_skips"],
+            "loads": front["loads"],
+            "load_hits": sum(
+                tier["load_hits"] for tier in (shm, disk, remote) if tier
+            ),
+        }
+        if shm is not None:
+            stats["shm"] = shm
+        stats["disk"] = disk
+        if remote is not None:
+            stats["remote"] = remote
         return stats
 
     def close(self) -> None:
-        self.shm.close()
-
-
-def make_store(
-    root: str,
-    *,
-    tier: str = "auto",
-    namespaces: frozenset = DEFAULT_PERSIST_NAMESPACES,
-    owner: bool = True,
-    mmap_reads: Optional[bool] = None,
-):
-    """Build the artifact store for *root* under the requested tier.
-
-    ``auto`` resolves to the shared-memory tier when the host supports
-    it and plain disk otherwise; ``shm`` insists (and raises where
-    unsupported, so a misconfigured deployment fails fast rather than
-    silently running slow); ``disk`` always returns the plain
-    :class:`DiskArtifactStore`.
-    """
-    if tier not in STORE_TIERS:
-        raise ValueError(f"unknown store tier {tier!r}; choose from {STORE_TIERS}")
-    if tier == "shm" or (tier == "auto" and shm_available()):
-        return TieredArtifactStore(
-            root, namespaces=namespaces, owner=owner, mmap_reads=mmap_reads
-        )
-    return DiskArtifactStore(root, namespaces=namespaces, mmap_reads=mmap_reads)
+        if self.shm is not None:
+            self.shm.close()
+        if self.remote is not None:
+            self.remote.close()

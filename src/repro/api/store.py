@@ -41,7 +41,9 @@ it at a directory written by untrusted parties.
 
 from __future__ import annotations
 
+import abc
 import hashlib
+import io
 import json
 import mmap
 import os
@@ -55,7 +57,16 @@ from typing import Any, Dict, Hashable, List, Optional
 
 import numpy as np
 
-__all__ = ["DiskArtifactStore", "DEFAULT_PERSIST_NAMESPACES"]
+__all__ = [
+    "ArtifactStore",
+    "DiskArtifactStore",
+    "DEFAULT_PERSIST_NAMESPACES",
+    "STORE_TIERS",
+    "artifact_digest",
+    "encode_artifact_bytes",
+    "decode_artifact_bytes",
+    "make_store",
+]
 
 #: When this environment variable names an *existing* file, every
 #: :meth:`DiskArtifactStore.load` raises instead of reading.  Tests arm
@@ -75,8 +86,107 @@ DEFAULT_PERSIST_NAMESPACES = frozenset(
 _MISSING = object()
 _SENTINEL_DEFAULT = object()
 
+#: Tier names :func:`make_store` accepts.  ``auto`` resolves to ``shm``
+#: where POSIX shared memory is available and ``disk`` elsewhere.
+STORE_TIERS = ("auto", "shm", "disk")
 
-class DiskArtifactStore:
+
+def artifact_digest(namespace: str, key: Hashable) -> str:
+    """Content address of ``(namespace, key)`` — the filename stem.
+
+    Every store backend (disk, shm, remote) derives its storage name
+    from this one digest, which is what lets a
+    :class:`~repro.dist.remote.RemoteArtifactStore` server and a
+    :class:`DiskArtifactStore` interoperate over the same directory.
+    """
+    return hashlib.sha256(repr((namespace, key)).encode()).hexdigest()[:32]
+
+
+class ArtifactStore(abc.ABC):
+    """The contract every artifact-store backend implements.
+
+    An artifact store is a *content-addressed*, namespaced map from
+    ``(namespace, key)`` to a deterministic artifact value.  Four
+    backends implement it — :class:`DiskArtifactStore` (durable files),
+    :class:`~repro.api.shm.SharedMemoryStore` (node-local zero-copy
+    segments), :class:`~repro.api.shm.TieredArtifactStore` (the
+    composition) and :class:`~repro.dist.remote.RemoteArtifactStore`
+    (the same surface over a TCP object protocol) — and
+    :func:`make_store` is the single construction path; engine, pool
+    and serve code hold an ``ArtifactStore``, never a concrete class.
+
+    Contract
+    --------
+    * **Namespaces** partition the key space ("grouping",
+      "route_table", "def_baseline", "batch", …).  :attr:`namespaces`
+      declares which of them an attached
+      :class:`~repro.api.cache.ArtifactCache` reads *and* writes
+      through; direct calls are never restricted by the set.  The
+      ephemeral ``"batch"`` namespace may be served from volatile
+      tiers only (see ``TieredArtifactStore.EPHEMERAL_NAMESPACES``).
+    * **Determinism**: a key's value is a pure function of the key, so
+      a save whose target already exists may be skipped (counted as
+      ``save_skips`` in :meth:`stats`); ``force=True`` overwrites
+      anyway.  The return value of :meth:`save` is backend-specific (a
+      path, a bool, …) and only meaningful as truthiness.
+    * **Corruption tolerance**: :meth:`load` returns *default* on any
+      failure — missing entry, torn write, garbled bytes, version or
+      key-hash mismatch — never an exception; the caller recomputes.
+    * **Crash hygiene**: :meth:`sweep_orphans` reclaims artifacts a
+      crashed writer left mid-publish, age-gated so live writers are
+      never yanked.
+    """
+
+    #: Tier label reported through :meth:`stats` ("disk", "shm",
+    #: "remote").
+    tier: str = "unknown"
+    #: Namespaces an attached cache persists through this store.
+    namespaces: frozenset = DEFAULT_PERSIST_NAMESPACES
+
+    @abc.abstractmethod
+    def save(
+        self, namespace: str, key: Hashable, value: Any, *, force: bool = False
+    ):
+        """Publish *value* under ``(namespace, key)``; atomic, skippable."""
+
+    @abc.abstractmethod
+    def load(self, namespace: str, key: Hashable, default: Any = None) -> Any:
+        """Read an artifact back; *default* on miss or any corruption."""
+
+    @abc.abstractmethod
+    def contains(self, namespace: str, key: Hashable) -> bool:
+        """Cheap existence probe (need not validate content)."""
+
+    @abc.abstractmethod
+    def delete(self, namespace: str, key: Hashable) -> bool:
+        """Remove one artifact; True when something was removed."""
+
+    @abc.abstractmethod
+    def stats(self) -> dict:
+        """Monitoring counters.  Every backend reports the canonical
+        ``saves`` / ``save_skips`` / ``loads`` / ``load_hits`` keys
+        plus a ``tier`` label (tier-specific extras are allowed)."""
+
+    @abc.abstractmethod
+    def sweep_orphans(self, *, min_age_s: float = 300.0) -> int:
+        """Reap artifacts a crashed writer left mid-publish; returns
+        the number removed.  Entries younger than *min_age_s* survive
+        (a live writer may own them)."""
+
+    # Optional surface with workable defaults ---------------------------
+    def close(self) -> None:
+        """Release backend resources (idempotent; no-op by default)."""
+
+    def clear(self, namespace: Optional[str] = None) -> int:
+        """Delete stored artifacts (one namespace's, or all)."""
+        raise NotImplementedError
+
+    def file_count(self, namespace: Optional[str] = None) -> int:
+        """Number of stored artifacts (one namespace's, or all)."""
+        raise NotImplementedError
+
+
+class DiskArtifactStore(ArtifactStore):
     """Content-addressed artifact files under one root directory.
 
     Parameters
@@ -153,8 +263,9 @@ class DiskArtifactStore:
     # paths
     # ------------------------------------------------------------------
     def path_for(self, namespace: str, key: Hashable) -> str:
-        digest = hashlib.sha256(repr((namespace, key)).encode()).hexdigest()[:32]
-        return os.path.join(self.root, namespace, f"{digest}.npz")
+        return os.path.join(
+            self.root, namespace, f"{artifact_digest(namespace, key)}.npz"
+        )
 
     # ------------------------------------------------------------------
     # save / load
@@ -184,15 +295,7 @@ class DiskArtifactStore:
             return path
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
-        arrays: Dict[str, np.ndarray] = {}
-        manifest = {
-            "version": 1,
-            "key_repr": repr(key),
-            "value": _encode(value, arrays),
-        }
-        arrays["__manifest__"] = np.frombuffer(
-            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
-        )
+        arrays = _manifest_arrays(key, value)
         fd, tmp = tempfile.mkstemp(suffix=".npz.tmp", dir=directory)
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -465,6 +568,97 @@ def _add_array(arrays: Dict[str, np.ndarray], value: np.ndarray) -> str:
     name = f"a{len(arrays)}"
     arrays[name] = value
     return name
+
+
+def _manifest_arrays(key: Hashable, value: Any) -> Dict[str, np.ndarray]:
+    """Encode *value* into the named-array dict one ``.npz`` file holds."""
+    arrays: Dict[str, np.ndarray] = {}
+    manifest = {
+        "version": 1,
+        "key_repr": repr(key),
+        "value": _encode(value, arrays),
+    }
+    arrays["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    return arrays
+
+
+def encode_artifact_bytes(key: Hashable, value: Any) -> bytes:
+    """Serialize an artifact to the store's on-disk ``.npz`` byte format.
+
+    The bytes are exactly what :meth:`DiskArtifactStore.save` would
+    write for the same key, which is what lets the remote store ship
+    artifacts over a socket and land them as regular disk-store files
+    on the far side (and vice versa).
+    """
+    buf = io.BytesIO()
+    np.savez(buf, **_manifest_arrays(key, value))
+    return buf.getvalue()
+
+
+def decode_artifact_bytes(key: Hashable, data: bytes, default: Any = None) -> Any:
+    """Inverse of :func:`encode_artifact_bytes`; *default* on any failure.
+
+    Mirrors :meth:`DiskArtifactStore.load`'s corruption tolerance:
+    truncated archives, garbled manifests, version skew and key
+    mismatches all read as a miss, never an exception.
+    """
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+            manifest = json.loads(bytes(archive["__manifest__"]).decode("utf-8"))
+            if manifest.get("version") != 1:
+                return default
+            if manifest.get("key_repr") != repr(key):
+                return default
+            return _decode(manifest["value"], archive)
+    except Exception:
+        return default
+
+
+# ---------------------------------------------------------------------------
+# Construction: the single entry point engine/pool/serve/CLI go through.
+# ---------------------------------------------------------------------------
+
+
+def make_store(
+    root: str,
+    *,
+    tier: str = "auto",
+    namespaces: frozenset = DEFAULT_PERSIST_NAMESPACES,
+    owner: bool = True,
+    mmap_reads: Optional[bool] = None,
+    remote: Optional[str] = None,
+) -> "ArtifactStore":
+    """Build the artifact store for *root* at the requested *tier*.
+
+    ``tier="auto"`` resolves to the shared-memory tier where POSIX
+    shared memory works and plain disk elsewhere; ``"shm"`` insists
+    (and raises where unsupported); ``"disk"`` opts out.  *owner* marks
+    the store that reaps this root's shm segments at close.
+
+    *remote* ("host:port" of a ``repro-map store-serve`` process) layers
+    a :class:`~repro.dist.remote.RemoteArtifactStore` under the local
+    tiers: remote reads promote into shm/memory, local writes replicate
+    to the remote so sibling hosts can read them.  Connection failures
+    at construction raise immediately (fail fast); at runtime the
+    remote degrades to a miss, never an error.
+    """
+    if tier not in STORE_TIERS:
+        raise ValueError(f"unknown store tier {tier!r}; expected {STORE_TIERS}")
+    from repro.api import shm as shm_mod  # lazy: shm imports this module
+
+    use_shm = shm_mod.shm_available() if tier == "auto" else (tier == "shm")
+    if not use_shm and remote is None:
+        return DiskArtifactStore(root, namespaces=namespaces, mmap_reads=mmap_reads)
+    return shm_mod.TieredArtifactStore(
+        root,
+        namespaces=namespaces,
+        owner=owner,
+        mmap_reads=mmap_reads,
+        use_shm=use_shm,
+        remote=remote,
+    )
 
 
 # ---------------------------------------------------------------------------

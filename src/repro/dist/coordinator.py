@@ -1,0 +1,510 @@
+"""Multi-host plan coordinator — drives shard hosts through one DAG.
+
+:func:`run_sharded` is the distributed sibling of the executors in
+:mod:`repro.api.executor`: it takes a planned batch and returns the
+same outcome list ``_collect`` consumes, but the nodes run on remote
+:class:`~repro.dist.host.HostServer` processes instead of local
+workers.  The moving parts:
+
+* the **batch payload** is published once to the coordinator's store —
+  whose remote tier replicates it to the cluster's
+  ``repro-map store-serve`` process — and each host pulls + LRU-caches
+  it on the first node it executes, the same store-not-initargs channel
+  the persistent process pool uses;
+* a :class:`~repro.dist.router.ShardRouter` partitions nodes across
+  hosts by workload fingerprint, so a workload's grouping, DEF
+  baseline and consumers stay host-local; an idle host steals unpinned
+  ready nodes from the deepest backlog once it exceeds the steal
+  threshold;
+* **host loss** (socket death, crash, kill) fails the in-flight nodes
+  with structured ``kind="host_lost"`` :class:`~repro.api.fault.
+  PlanError`\\ s under the no-retry policy, or reroutes them to a
+  survivor when the :class:`~repro.api.fault.RetryPolicy` grants
+  another attempt; *queued* (not yet dispatched) nodes always reroute.
+  With zero survivors the remaining nodes drain through the caller's
+  in-process service — the same serial fallback the pooled executors
+  use when their executor breaks.
+
+Scheduling never affects results: each node's output is a pure
+function of its request and declared artifacts, so a sharded batch is
+byte-identical to a serial one (pinned by ``tests/test_dist.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import tempfile
+import time
+import uuid
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.executor import _node_label, _node_tag, _NodeFailure, run_plan_node
+from repro.api.fault import NO_RETRY, PlanError, RetryPolicy
+from repro.api.plan import Plan
+from repro.api.store import make_store
+from repro.dist.host import HostClient, HostLostError, RemoteNodeError
+from repro.dist.router import DEFAULT_STEAL_THRESHOLD, ShardRouter
+
+__all__ = ["run_sharded"]
+
+
+def run_sharded(
+    plan: Plan,
+    service,
+    hosts: Sequence[str],
+    *,
+    store_remote: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    store_tier: str = "auto",
+    retry: Optional[RetryPolicy] = None,
+    node_timeout: Optional[float] = None,
+    partial: bool = False,
+    steal_threshold: int = DEFAULT_STEAL_THRESHOLD,
+    stats_out: Optional[dict] = None,
+) -> List:
+    """Run *plan* across *hosts*; returns ``_collect``-ready outcomes.
+
+    Parameters
+    ----------
+    plan / service:
+        As in :func:`repro.api.executor.execute_plan`; the service only
+        runs nodes here when every host is lost (local drain).
+    hosts:
+        ``host:port`` addresses of ``repro-map shard-serve`` processes.
+    store_remote:
+        ``host:port`` of the shared ``store-serve`` process the batch
+        payload replicates through.  Without it the hosts can only find
+        the payload if they share *store_dir*'s filesystem.
+    retry / node_timeout / partial:
+        The engine's standard fault knobs.  Retry attempts also cover
+        host loss: a node whose host died is rerouted to a survivor
+        while attempts remain.  A node past its deadline fails with a
+        ``timeout`` outcome (the host may still finish it; the reply is
+        discarded).
+    stats_out:
+        Optional dict that receives router + per-host dispatch stats.
+    """
+    policy = retry or NO_RETRY
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    if store_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-coord-")
+        store_dir = tmp.name
+    store = make_store(store_dir, tier=store_tier, owner=True, remote=store_remote)
+    batch_key = f"coord-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+    clients: Dict[str, HostClient] = {}
+    try:
+        store.save("batch", batch_key, plan.requests)
+
+        for address in hosts:
+            client = HostClient(address)
+            try:
+                client.hello()
+            except HostLostError:
+                client.close()
+                continue
+            clients[client.name] = client
+        outcomes = _Scheduler(
+            plan,
+            service,
+            clients,
+            batch_key,
+            policy=policy,
+            node_timeout=node_timeout,
+            partial=partial,
+            steal_threshold=steal_threshold,
+            stats_out=stats_out,
+        ).run()
+        return outcomes
+    finally:
+        for client in clients.values():
+            client.close()
+        store.delete("batch", batch_key)
+        if hasattr(store, "close"):
+            store.close()
+        if tmp is not None:
+            tmp.cleanup()
+
+
+class _Scheduler:
+    """One batch's dispatch state (split out of :func:`run_sharded`)."""
+
+    def __init__(
+        self,
+        plan: Plan,
+        service,
+        clients: Dict[str, HostClient],
+        batch_key: str,
+        *,
+        policy: RetryPolicy,
+        node_timeout: Optional[float],
+        partial: bool,
+        steal_threshold: int,
+        stats_out: Optional[dict],
+    ) -> None:
+        self.plan = plan
+        self.service = service
+        self.clients = clients
+        self.batch_key = batch_key
+        self.policy = policy
+        self.node_timeout = node_timeout
+        self.partial = partial
+        self.stats_out = stats_out
+        self.live: List[str] = list(clients)
+        self.router = (
+            ShardRouter(plan, self.live, steal_threshold=steal_threshold)
+            if self.live
+            else None
+        )
+        self.outcomes: List = [None] * len(plan.nodes)
+        self.indegree = [len(node.deps) for node in plan.nodes]
+        self.dependents = plan.dependents()
+        self.ready: Dict[str, Deque[int]] = {h: deque() for h in self.live}
+        self.pending: Dict[Future, Tuple[int, str]] = {}
+        self.deadlines: Dict[Future, float] = {}
+        self.retry_heap: List[Tuple[float, int]] = []
+        self.failures = [0] * len(plan.nodes)
+        self.hosts_lost: List[str] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> List:
+        plan = self.plan
+        try:
+            for node in plan.nodes:
+                if self.indegree[node.index] == 0:
+                    self._enqueue(node.index)
+            self._loop()
+        except BaseException:
+            for future in self.pending:
+                future.cancel()
+            raise
+        self._drain_local()  # no-op unless every host died
+        for index, outcome in enumerate(self.outcomes):
+            if outcome is None:  # defensive: a scheduler hole
+                self.outcomes[index] = _NodeFailure(
+                    PlanError(
+                        kind="cancelled",
+                        message="node was never scheduled",
+                        node=_node_label(plan, index),
+                        tag=_node_tag(plan, index),
+                    )
+                )
+        if self.stats_out is not None:
+            self.stats_out.update(
+                {
+                    "router": self.router.stats() if self.router else None,
+                    "hosts_lost": self.hosts_lost,
+                    "hosts": {
+                        name: {"capacity": c.capacity, "host_id": c.host_id}
+                        for name, c in self.clients.items()
+                    },
+                }
+            )
+        return self.outcomes
+
+    # -- queueing -------------------------------------------------------
+    def _enqueue(self, index: int) -> None:
+        """Put a ready node on its (live) host's queue."""
+        if not self.live:
+            return  # _drain_local picks it up
+        host = self.router.host_of(index)
+        if host not in self.ready:
+            host = self.router.reroute(index, self.live)
+        self.ready[host].append(index)
+
+    def _next_for(self, host: str) -> Optional[int]:
+        queue = self.ready[host]
+        if queue:
+            return queue.popleft()
+        stolen = self.router.steal(
+            host, {h: list(q) for h, q in self.ready.items()}
+        )
+        if stolen is None:
+            return None
+        for other in self.ready.values():
+            try:
+                other.remove(stolen)
+                break
+            except ValueError:
+                continue
+        return stolen
+
+    def _dispatch(self) -> None:
+        inflight: Dict[str, int] = {h: 0 for h in self.live}
+        for _, host in self.pending.values():
+            if host in inflight:
+                inflight[host] += 1
+        for host in list(self.live):
+            client = self.clients[host]
+            while inflight[host] < client.capacity:
+                index = self._next_for(host)
+                if index is None:
+                    break
+                node = self.plan.nodes[index]
+                try:
+                    future = client.submit(
+                        self.batch_key,
+                        node.index,
+                        node.request_index,
+                        node.kind,
+                        node.algorithm,
+                    )
+                except HostLostError:
+                    self.ready[host].appendleft(index)
+                    self._on_host_lost(host)
+                    return  # topology changed; restart dispatch next tick
+                self.pending[future] = (index, host)
+                if self.node_timeout is not None:
+                    self.deadlines[future] = time.monotonic() + self.node_timeout
+                inflight[host] += 1
+
+    # -- completion ----------------------------------------------------
+    def _complete(self, index: int, result) -> None:
+        self.outcomes[index] = result
+        for dep in self.dependents[index]:
+            self.indegree[dep] -= 1
+            if self.indegree[dep] == 0 and self.outcomes[dep] is None:
+                self._enqueue(dep)
+
+    def _final(self, index: int, error: PlanError, exc=None) -> None:
+        if not self.partial:
+            raise exc if exc is not None else RuntimeError(str(error))
+        self.outcomes[index] = _NodeFailure(error, exc)
+        stack = [index]
+        while stack:
+            for dep in self.dependents[stack.pop()]:
+                if self.outcomes[dep] is None:
+                    self.outcomes[dep] = _NodeFailure(
+                        PlanError(
+                            kind="upstream",
+                            message=(
+                                f"dependency {_node_label(self.plan, index)} "
+                                f"failed: {error.message}"
+                            ),
+                            node=_node_label(self.plan, dep),
+                            tag=_node_tag(self.plan, dep),
+                        )
+                    )
+                    stack.append(dep)
+
+    def _record_exception(self, index: int, exc: BaseException) -> None:
+        self.failures[index] += 1
+        if self.failures[index] < self.policy.max_attempts:
+            heapq.heappush(
+                self.retry_heap,
+                (time.monotonic() + self.policy.delay(self.failures[index]), index),
+            )
+            return
+        remote = exc.error if isinstance(exc, RemoteNodeError) else {}
+        self._final(
+            index,
+            PlanError(
+                kind=remote.get("kind", "error"),
+                message=str(exc) or type(exc).__name__,
+                exception=remote.get("exception") or type(exc).__name__,
+                attempts=self.failures[index],
+                node=_node_label(self.plan, index),
+                tag=_node_tag(self.plan, index),
+            ),
+            exc,
+        )
+
+    def _lost_in_flight(self, index: int, host: str) -> None:
+        """An in-flight node's host died: reroute or fail ``host_lost``."""
+        self.failures[index] += 1
+        if self.failures[index] < self.policy.max_attempts and self.live:
+            self.router.reroute(index, self.live)
+            heapq.heappush(
+                self.retry_heap,
+                (time.monotonic() + self.policy.delay(self.failures[index]), index),
+            )
+            return
+        self._final(
+            index,
+            PlanError(
+                kind="host_lost",
+                message=f"shard host {host} was lost with this node in flight",
+                attempts=self.failures[index],
+                node=_node_label(self.plan, index),
+                tag=_node_tag(self.plan, index),
+            ),
+            HostLostError(host),
+        )
+
+    def _on_host_lost(self, host: str) -> None:
+        if host not in self.ready:
+            return  # already handled
+        self.hosts_lost.append(host)
+        self.live.remove(host)
+        queued = self.ready.pop(host)
+        self.clients[host].close()
+        # Salvage futures that finished before the loss; everything else
+        # in flight on the dead host follows the retry-or-fail policy.
+        lost: List[int] = []
+        for future, (index, fhost) in list(self.pending.items()):
+            if fhost != host:
+                continue
+            del self.pending[future]
+            self.deadlines.pop(future, None)
+            salvaged = False
+            if future.done() and not future.cancelled():
+                try:
+                    self._complete(index, future.result())
+                    salvaged = True
+                except Exception:
+                    pass
+            if not salvaged:
+                future.cancel()
+                lost.append(index)
+        for index in lost:
+            self._lost_in_flight(index, host)
+        # Undispatched nodes never count an attempt — they just move.
+        for index in queued:
+            if self.outcomes[index] is not None:
+                continue  # upstream-cascaded while handling the loss
+            if self.live:
+                self._enqueue(index)
+            # else: _drain_local runs them in-process
+
+    # -- main loop ------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            now = time.monotonic()
+            while self.retry_heap and self.retry_heap[0][0] <= now:
+                _, index = heapq.heappop(self.retry_heap)
+                if self.outcomes[index] is None:
+                    self._enqueue(index)
+            if self.live:
+                self._dispatch()
+            queued = any(self.ready.values())
+            if not self.pending and not self.retry_heap and not queued:
+                return
+            if not self.live:
+                return  # remaining work drains locally
+            if not self.pending:
+                if self.retry_heap:
+                    time.sleep(
+                        max(0.0, self.retry_heap[0][0] - time.monotonic())
+                    )
+                continue
+            timeout = None
+            if self.deadlines:
+                timeout = min(self.deadlines.values()) - now
+            if self.retry_heap:
+                until = self.retry_heap[0][0] - now
+                timeout = until if timeout is None else min(timeout, until)
+            if timeout is not None:
+                timeout = max(timeout, 0.0)
+            done, _ = wait(
+                list(self.pending), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                if future not in self.pending:
+                    continue  # drained by a host-loss sweep this tick
+                index, host = self.pending.pop(future)
+                self.deadlines.pop(future, None)
+                try:
+                    result = future.result()
+                except HostLostError:
+                    self._lost_in_flight(index, host)
+                    self._on_host_lost(host)
+                except RemoteNodeError as exc:
+                    self._record_exception(index, exc)
+                except Exception as exc:
+                    self._record_exception(index, exc)
+                else:
+                    self._complete(index, result)
+            self._expire_deadlines()
+
+    def _expire_deadlines(self) -> None:
+        if not self.deadlines:
+            return
+        now = time.monotonic()
+        for future in [f for f, d in self.deadlines.items() if d <= now]:
+            entry = self.pending.pop(future, None)
+            self.deadlines.pop(future, None)
+            if entry is None:
+                continue
+            index, _host = entry
+            future.cancel()
+            self._final(
+                index,
+                PlanError(
+                    kind="timeout",
+                    message=(
+                        f"node exceeded its {self.node_timeout:g}s deadline"
+                    ),
+                    attempts=self.failures[index] + 1,
+                    node=_node_label(self.plan, index),
+                    tag=_node_tag(self.plan, index),
+                ),
+                TimeoutError(
+                    f"{_node_label(self.plan, index)} exceeded its "
+                    f"{self.node_timeout:g}s deadline"
+                ),
+            )
+
+    # -- zero-survivor fallback ----------------------------------------
+    def _drain_local(self) -> None:
+        """Run every unfinished node against the caller's service.
+
+        Node-index order is a topological order, so one pass suffices;
+        the retry/partial semantics match ``_run_serial``.
+        """
+        plan = self.plan
+        for node in plan.nodes:
+            if self.outcomes[node.index] is not None:
+                continue
+            failed = next(
+                (
+                    d
+                    for d in node.deps
+                    if isinstance(self.outcomes[d], _NodeFailure)
+                ),
+                None,
+            )
+            if failed is not None:
+                self.outcomes[node.index] = _NodeFailure(
+                    PlanError(
+                        kind="upstream",
+                        message=(
+                            f"dependency {_node_label(plan, failed)} failed: "
+                            f"{self.outcomes[failed].error.message}"
+                        ),
+                        node=_node_label(plan, node.index),
+                        tag=_node_tag(plan, node.index),
+                    )
+                )
+                continue
+            attempts = self.failures[node.index]
+            while True:
+                try:
+                    self.outcomes[node.index] = run_plan_node(
+                        self.service,
+                        plan.requests[node.request_index],
+                        node.kind,
+                        node.algorithm,
+                    )
+                    break
+                except Exception as exc:
+                    attempts += 1
+                    if attempts < self.policy.max_attempts:
+                        time.sleep(self.policy.delay(attempts))
+                        continue
+                    if not self.partial:
+                        raise
+                    self.outcomes[node.index] = _NodeFailure(
+                        PlanError(
+                            kind="error",
+                            message=str(exc) or type(exc).__name__,
+                            exception=type(exc).__name__,
+                            attempts=attempts,
+                            node=_node_label(plan, node.index),
+                            tag=_node_tag(plan, node.index),
+                        ),
+                        exc,
+                    )
+                    break

@@ -38,6 +38,9 @@ import numpy as np
 __all__ = [
     "MANIFEST_DEFAULTS",
     "MAX_FRAME_BYTES",
+    "MAX_BLOB_BYTES",
+    "send_blob",
+    "recv_blob",
     "ProtocolError",
     "error_payload",
     "encode_frame",
@@ -55,7 +58,14 @@ __all__ = [
 #: malformed (or hostile) and the connection is dropped.
 MAX_FRAME_BYTES = 32 << 20
 
+#: Hard bound on one *binary blob* (an encoded artifact riding behind a
+#: JSON control frame in the remote-store / shard-host protocols).
+#: Artifacts are array payloads, so the budget is larger than the JSON
+#: frame limit.
+MAX_BLOB_BYTES = 512 << 20
+
 _LENGTH = struct.Struct(">I")
+_BLOB_LENGTH = struct.Struct(">Q")
 
 #: Per-request fallbacks of the manifest entry schema (overridden by a
 #: stream/manifest ``defaults`` object, then by each request entry).
@@ -207,6 +217,33 @@ def _recv_exact(
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+def send_blob(sock: socket.socket, data: bytes) -> None:
+    """Send one length-prefixed binary blob (8-byte big-endian length).
+
+    Blobs always follow a JSON control frame that announced them (the
+    remote store's ``save``/``load`` ops, a shard host's encoded
+    :class:`~repro.api.request.MapResponse`), so the two framings never
+    need to be distinguished on the wire.
+    """
+    if len(data) > MAX_BLOB_BYTES:
+        raise ProtocolError(
+            f"blob of {len(data)} bytes exceeds the {MAX_BLOB_BYTES}-byte limit"
+        )
+    sock.sendall(_BLOB_LENGTH.pack(len(data)) + data)
+
+
+def recv_blob(sock: socket.socket) -> bytes:
+    """Blocking counterpart of :func:`send_blob`."""
+    header = _recv_exact(sock, _BLOB_LENGTH.size, allow_eof=False)
+    (length,) = _BLOB_LENGTH.unpack(header)
+    if length > MAX_BLOB_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte blob "
+            f"(limit {MAX_BLOB_BYTES}); dropping connection"
+        )
+    return _recv_exact(sock, length, allow_eof=False)
 
 
 # ---------------------------------------------------------------------------

@@ -47,7 +47,7 @@ import asyncio
 import threading
 import time
 from collections import OrderedDict, deque
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.api.aio import AsyncMappingService
 from repro.kernels.backend import backend_info
@@ -214,6 +214,12 @@ class MappingServer:
         ticket's own deadline tightens *node_timeout* further.
     max_in_flight:
         Concurrent plans (forwarded to the built aio service).
+    **service_kwargs:
+        Forwarded to the built :class:`~repro.api.service.
+        MappingService` — including ``config=`` (an
+        :class:`~repro.api.config.EngineConfig`), so one config object
+        can shape a whole serve deployment's cache, store and engine
+        defaults.
     """
 
     def __init__(
